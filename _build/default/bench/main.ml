@@ -1,0 +1,267 @@
+(* Benchmark harness.
+
+   Default mode regenerates the paper's entire evaluation — every figure
+   (2 through 14) plus the ablations — printing each as an ASCII table;
+   this is the output recorded in bench_output.txt and compared against
+   the paper in EXPERIMENTS.md.
+
+   [--micro] instead runs Bechamel micro-benchmarks: one Test.make per
+   figure (timing that figure's representative computation cell) and a
+   set of kernel benchmarks (FFT, convolution, solver, generators), so
+   the paper's "runtime below a second on a workstation" claim is
+   checkable.
+
+   Options:
+     --quick       small traces and coarse grids (used by CI)
+     --only IDS    comma-separated experiment ids (e.g. fig4,fig7)
+     --micro       run the Bechamel suite instead of the figures *)
+
+open Lrd_experiments
+
+let quick = ref false
+let only = ref []
+let micro = ref false
+
+let usage = "main.exe [--quick] [--only fig4,fig7] [--micro]"
+
+let spec =
+  [
+    ("--quick", Arg.Set quick, " small traces and coarse grids");
+    ( "--only",
+      Arg.String
+        (fun s -> only := String.split_on_char ',' s),
+      "IDS comma-separated experiment ids" );
+    ("--micro", Arg.Set micro, " run Bechamel micro-benchmarks");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro suite *)
+
+let micro_tests ctx =
+  let open Bechamel in
+  let rng () = Lrd_rng.Rng.create ~seed:4242L in
+  (* Shared ingredients, built once outside the timed closures. *)
+  let mtv_model = Data.mtv_model ctx ~cutoff:10.0 in
+  let bc_model = Data.bc_model ctx ~cutoff:10.0 in
+  let mtv_trace = Data.mtv ctx in
+  let bc_trace = Data.bellcore ctx in
+  let mtv_c =
+    Lrd_trace.Trace.service_rate_for_utilization mtv_trace
+      ~utilization:Data.mtv_utilization
+  in
+  let solve ?params model ~utilization ~buffer_seconds () =
+    ignore
+      (Lrd_core.Solver.solve_utilization ?params model ~utilization
+         ~buffer_seconds)
+  in
+  let sim trace ~utilization ~buffer_seconds =
+    let c =
+      Lrd_trace.Trace.service_rate_for_utilization trace ~utilization
+    in
+    let s =
+      Lrd_fluidsim.Queue_sim.make ~service_rate:c
+        ~buffer:(buffer_seconds *. c) ()
+    in
+    ignore (Lrd_fluidsim.Queue_sim.run_trace s trace)
+  in
+  let figure_tests =
+    [
+      Test.make ~name:"fig2/snapshots-m100"
+        (Staged.stage (fun () ->
+             ignore
+               (Lrd_core.Solver.iterate_snapshots mtv_model
+                  ~service_rate:mtv_c ~buffer:(1.0 *. mtv_c) ~bins:100
+                  ~at:[ 5; 10; 30 ])));
+      Test.make ~name:"fig3/histogram-50bin"
+        (Staged.stage (fun () ->
+             ignore (Lrd_trace.Histogram.marginal_of_trace ~bins:50 mtv_trace)));
+      Test.make ~name:"fig4/solve-mtv-cell"
+        (Staged.stage
+           (solve mtv_model ~utilization:Data.mtv_utilization
+              ~buffer_seconds:0.5));
+      Test.make ~name:"fig5/solve-bc-cell"
+        (Staged.stage
+           (solve bc_model ~utilization:Data.bc_utilization
+              ~buffer_seconds:0.5));
+      Test.make ~name:"fig6/acf-512"
+        (Staged.stage (fun () ->
+             ignore
+               (Lrd_stats.Autocorr.autocorrelation
+                  mtv_trace.Lrd_trace.Trace.rates ~max_lag:512)));
+      Test.make ~name:"fig7/shuffle-sim-mtv"
+        (Staged.stage (fun () ->
+             let shuffled =
+               Lrd_trace.Shuffle.external_shuffle (rng ()) mtv_trace
+                 ~block:300
+             in
+             sim shuffled ~utilization:Data.mtv_utilization
+               ~buffer_seconds:0.1));
+      Test.make ~name:"fig8/shuffle-sim-bc"
+        (Staged.stage (fun () ->
+             let shuffled =
+               Lrd_trace.Shuffle.external_shuffle (rng ()) bc_trace ~block:300
+             in
+             sim shuffled ~utilization:Data.bc_utilization
+               ~buffer_seconds:0.1));
+      Test.make ~name:"fig9/solve-equalized"
+        (Staged.stage (fun () ->
+             let model =
+               Lrd_core.Model.of_hurst ~marginal:(Data.bc_marginal ctx)
+                 ~hurst:0.9 ~theta:0.020 ~cutoff:1.0
+             in
+             solve model ~utilization:(2.0 /. 3.0) ~buffer_seconds:1.0 ()));
+      Test.make ~name:"fig10/solve-scaled"
+        (Staged.stage (fun () ->
+             let marginal =
+               Lrd_dist.Marginal.scale ~clamp:true (Data.mtv_marginal ctx)
+                 ~factor:0.5
+             in
+             let model =
+               Lrd_core.Model.of_hurst ~marginal ~hurst:0.75
+                 ~theta:(Data.mtv_theta ctx) ~cutoff:Float.infinity
+             in
+             solve model ~utilization:Data.mtv_utilization
+               ~buffer_seconds:1.0 ()));
+      Test.make ~name:"fig11/superpose-5"
+        (Staged.stage (fun () ->
+             ignore (Lrd_dist.Marginal.superpose (Data.mtv_marginal ctx) ~n:5)));
+      Test.make ~name:"fig12/solve-deep-buffer"
+        (Staged.stage
+           (solve mtv_model ~utilization:Data.mtv_utilization
+              ~buffer_seconds:5.0));
+      Test.make ~name:"fig13/solve-deep-buffer-bc"
+        (Staged.stage
+           (solve bc_model ~utilization:Data.bc_utilization
+              ~buffer_seconds:5.0));
+      Test.make ~name:"fig14/horizon"
+        (Staged.stage (fun () ->
+             let series =
+               Array.init 20 (fun i ->
+                   let tc = 0.1 *. (1.5 ** float_of_int i) in
+                   (tc, 1e-3 *. (1.0 -. exp (-.tc))))
+             in
+             ignore (Lrd_core.Horizon.detect series);
+             ignore
+               (Lrd_core.Horizon.estimate ~buffer:10.0 ~mean_epoch:0.08
+                  ~epoch_std:0.3 ~rate_std:1.7 ())));
+    ]
+  in
+  let re = Array.init 4096 (fun i -> sin (float_of_int i)) in
+  let kernel = Array.init 2049 (fun i -> float_of_int (i mod 7)) in
+  let signal = Array.init 1025 (fun i -> float_of_int (i mod 5)) in
+  let plan =
+    Lrd_numerics.Convolution.make_plan ~kernel ~max_signal:1025
+  in
+  let exp_model =
+    Lrd_core.Model.create
+      ~marginal:(Lrd_dist.Marginal.of_points [ (0.0, 0.5); (2.0, 0.5) ])
+      ~interarrival:(Lrd_dist.Interarrival.exponential ~mean:1.0)
+  in
+  let kernel_tests =
+    [
+      Test.make ~name:"kernel/fft-4096"
+        (Staged.stage (fun () ->
+             let r = Array.copy re and im = Array.make 4096 0.0 in
+             Lrd_numerics.Fft.forward ~re:r ~im));
+      Test.make ~name:"kernel/conv-direct-1k"
+        (Staged.stage (fun () ->
+             ignore (Lrd_numerics.Convolution.direct signal kernel)));
+      Test.make ~name:"kernel/conv-fft-plan-1k"
+        (Staged.stage (fun () ->
+             ignore (Lrd_numerics.Convolution.convolve_plan plan signal)));
+      Test.make ~name:"kernel/solver-onoff-exp"
+        (Staged.stage (fun () ->
+             ignore
+               (Lrd_core.Solver.solve exp_model ~service_rate:1.25 ~buffer:2.0)));
+      Test.make ~name:"kernel/fgn-16k"
+        (Staged.stage (fun () ->
+             ignore (Lrd_trace.Fgn.davies_harte (rng ()) ~hurst:0.8 ~n:16_384)));
+      Test.make ~name:"kernel/video-trace-16k"
+        (Staged.stage (fun () ->
+             ignore (Lrd_trace.Video.generate_short (rng ()) ~n:16_384)));
+      Test.make ~name:"kernel/queue-sim-100k-slots"
+        (Staged.stage (fun () ->
+             let r = rng () in
+             let rates =
+               Array.init 100_000 (fun _ -> Lrd_rng.Rng.float r *. 2.0)
+             in
+             let trace = Lrd_trace.Trace.create ~rates ~slot:0.01 in
+             sim trace ~utilization:0.8 ~buffer_seconds:0.5));
+      Test.make ~name:"kernel/erf-inv"
+        (Staged.stage (fun () ->
+             ignore (Lrd_numerics.Special.erf_inv 0.123)));
+      Test.make ~name:"kernel/whittle-16k"
+        (Staged.stage
+           (let data =
+              Lrd_trace.Fgn.davies_harte (rng ()) ~hurst:0.8 ~n:16_384
+            in
+            fun () -> ignore (Lrd_stats.Whittle.local_whittle data)));
+      Test.make ~name:"kernel/mginf-trace-16k"
+        (Staged.stage (fun () ->
+             ignore (Lrd_trace.Mginf.generate (rng ()) ~slots:16_384 ~slot:0.02)));
+      Test.make ~name:"kernel/solve-detailed-occupancy"
+        (Staged.stage (fun () ->
+             ignore
+               (Lrd_core.Solver.solve_detailed exp_model ~service_rate:1.25
+                  ~buffer:2.0)));
+      Test.make ~name:"kernel/ams-spectrum-n12"
+        (Staged.stage (fun () ->
+             let sys =
+               Lrd_baselines.Ams.create ~sources:12 ~on_rate:1.0 ~lambda:1.0
+                 ~mu:2.0 ~service_rate:5.3
+             in
+             ignore (Lrd_baselines.Ams.overflow_probability sys ~level:2.0)));
+    ]
+  in
+  figure_tests @ kernel_tests
+
+let run_micro ctx =
+  let open Bechamel in
+  let open Toolkit in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let tests = micro_tests ctx in
+  Printf.printf "%-32s %14s %10s\n" "benchmark" "ns/run" "samples";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+      let ols =
+        Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+      in
+      let estimates = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (t :: _) -> t
+            | _ -> Float.nan
+          in
+          let samples =
+            match Hashtbl.find_opt results name with
+            | Some b -> b.Benchmark.stats.Benchmark.samples
+            | None -> 0
+          in
+          Printf.printf "%-32s %14.0f %10d\n" name ns samples)
+        estimates)
+    tests;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Arg.parse (Arg.align spec) (fun s -> raise (Arg.Bad ("unexpected " ^ s))) usage;
+  let ctx = Data.create ~quick:!quick () in
+  if !micro then run_micro ctx
+  else begin
+    let fmt = Format.std_formatter in
+    Format.fprintf fmt
+      "Reproduction of Grossglauser & Bolot, 'On the Relevance of \
+       Long-Range Dependence in Network Traffic' (SIGCOMM '96)@.";
+    Format.fprintf fmt "mode: %s@."
+      (if !quick then "quick (small traces, coarse grids)"
+       else "full (paper-scale traces)");
+    match !only with
+    | [] -> Registry.run ctx fmt
+    | ids -> Registry.run ~only:ids ctx fmt
+  end

@@ -1,0 +1,600 @@
+(* lrd: command-line front end.
+
+   Subcommands:
+     solve       loss rate of a finite-buffer queue fed by the cutoff
+                 fluid model (marginal from a trace file or built-in)
+     trace       generate a synthetic trace (video / ethernet / fgn / dar)
+     hurst       estimate the Hurst parameter of a trace, four ways
+     simulate    trace-driven fluid-queue simulation, optionally shuffled
+     experiment  run paper figures / ablations by id *)
+
+open Cmdliner
+
+let read_trace path =
+  try Ok (Lrd_trace.Trace_io.load ~path)
+  with Failure msg | Sys_error msg -> Error msg
+
+let builtin_marginal ctx = function
+  | "mtv" -> Ok (Lrd_experiments.Data.mtv_marginal ctx)
+  | "bellcore" -> Ok (Lrd_experiments.Data.bc_marginal ctx)
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown built-in marginal %S (expected mtv or bellcore)" other)
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments *)
+
+let seed_arg =
+  let doc = "Seed for all randomness (trace synthesis, shuffling)." in
+  Arg.(value & opt int64 20260705L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let quick_arg =
+  let doc = "Use small synthetic traces (fast, less statistics)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let utilization_arg =
+  let doc = "Server utilization (mean rate / service rate), in (0, 1)." in
+  Arg.(value & opt float 0.8 & info [ "u"; "utilization" ] ~docv:"U" ~doc)
+
+let buffer_arg =
+  let doc = "Normalized buffer size in seconds (buffer = B * service rate)." in
+  Arg.(value & opt float 1.0 & info [ "b"; "buffer" ] ~docv:"SECONDS" ~doc)
+
+let trace_file_arg =
+  let doc = "Trace file (as written by $(b,lrd trace)); its 50-bin \
+             histogram becomes the marginal and its mean rate-residence \
+             epoch sets theta." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* solve *)
+
+let solve_cmd =
+  let hurst_arg =
+    let doc = "Hurst parameter in (0.5, 1); alpha = 3 - 2H." in
+    Arg.(value & opt float 0.83 & info [ "H"; "hurst" ] ~docv:"H" ~doc)
+  in
+  let cutoff_arg =
+    let doc = "Cutoff lag T_c in seconds (correlation is zero beyond); \
+               $(b,inf) for the untruncated self-similar model." in
+    Arg.(value & opt float Float.infinity & info [ "cutoff" ] ~docv:"TC" ~doc)
+  in
+  let marginal_arg =
+    let doc = "Built-in marginal: mtv or bellcore (synthetic trace \
+               histograms).  Ignored when --trace is given." in
+    Arg.(value & opt string "mtv" & info [ "marginal" ] ~docv:"NAME" ~doc)
+  in
+  let epoch_arg =
+    let doc = "Mean epoch duration in seconds used to match theta (eq. 25) \
+               when no trace is given; defaults to the built-in trace's \
+               measured value." in
+    Arg.(value & opt (some float) None & info [ "epoch" ] ~docv:"SECONDS" ~doc)
+  in
+  let run quick seed utilization buffer hurst cutoff marginal_name trace epoch
+      =
+    let ctx = Lrd_experiments.Data.create ~seed ~quick () in
+    let model_result =
+      match trace with
+      | Some path ->
+          Result.map
+            (fun t -> Lrd_core.Model.fit_from_trace ~hurst ~cutoff t)
+            (read_trace path)
+      | None ->
+          Result.map
+            (fun marginal ->
+              let mean_epoch =
+                match epoch with
+                | Some e -> e
+                | None ->
+                    if marginal_name = "bellcore" then
+                      Lrd_experiments.Data.bc_mean_epoch ctx
+                    else Lrd_experiments.Data.mtv_mean_epoch ctx
+              in
+              let theta =
+                Lrd_dist.Interarrival.theta_for_mean_epoch ~mean_epoch
+                  ~alpha:(Lrd_core.Model.alpha_of_hurst hurst)
+                  ()
+              in
+              Lrd_core.Model.of_hurst ~marginal ~hurst ~theta ~cutoff)
+            (builtin_marginal ctx marginal_name)
+    in
+    match model_result with
+    | Error msg -> `Error (false, msg)
+    | Ok model ->
+        Format.printf "model: %a@." Lrd_core.Model.pp model;
+        let c =
+          Lrd_core.Model.service_rate_for_utilization model ~utilization
+        in
+        Format.printf "service rate: %.6g, buffer: %.6g (%g s)@." c
+          (buffer *. c) buffer;
+        let result =
+          Lrd_core.Solver.solve_utilization model ~utilization
+            ~buffer_seconds:buffer
+        in
+        Format.printf "%a@." Lrd_core.Solver.pp_result result;
+        let horizon =
+          Lrd_core.Horizon.estimate_for_model model ~buffer:(buffer *. c)
+        in
+        if Float.is_finite horizon && horizon > 0.0 then
+          Format.printf "correlation horizon estimate (eq. 26): %.4g s@."
+            horizon
+        else
+          Format.printf
+            "correlation horizon estimate: unavailable (infinite epoch \
+             variance at this cutoff)@.";
+        `Ok ()
+  in
+  let doc = "solve the finite-buffer fluid queue for the loss rate" in
+  Cmd.v
+    (Cmd.info "solve" ~doc)
+    Term.(
+      ret
+        (const run $ quick_arg $ seed_arg $ utilization_arg $ buffer_arg
+       $ hurst_arg $ cutoff_arg $ marginal_arg $ trace_file_arg $ epoch_arg))
+
+(* ------------------------------------------------------------------ *)
+(* trace *)
+
+let trace_cmd =
+  let kind_arg =
+    let doc = "Kind: video (MTV-like, scene based), ethernet \
+               (Bellcore-like on/off aggregate), fgn (video marginal via \
+               fractional Gaussian noise), farima (FARIMA(0, 0.3, 0) \
+               rates), mginf (M/G/inf session traffic), dar (DAR(1) with \
+               the video marginal)." in
+    Arg.(value & opt string "video" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let slots_arg =
+    let doc = "Number of trace samples (0 = the paper-scale default)." in
+    Arg.(value & opt int 0 & info [ "n"; "slots" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Output file." in
+    Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run seed kind slots out =
+    let rng = Lrd_rng.Rng.create ~seed in
+    let trace =
+      match kind with
+      | "video" ->
+          if slots > 0 then Lrd_trace.Video.generate_short rng ~n:slots
+          else Lrd_trace.Video.generate rng
+      | "ethernet" ->
+          if slots > 0 then Lrd_trace.Ethernet.generate_short rng ~n:slots
+          else Lrd_trace.Ethernet.generate rng
+      | "fgn" ->
+          let params =
+            if slots > 0 then { Lrd_trace.Video.mtv_like with frames = slots }
+            else Lrd_trace.Video.mtv_like
+          in
+          Lrd_trace.Video.generate_fgn ~params rng
+      | "farima" ->
+          (* Zero-mean FARIMA shifted to a positive rate floor of 10. *)
+          let n = if slots > 0 then slots else 65_536 in
+          let xs = Lrd_trace.Farima.generate rng ~d:0.3 ~n in
+          Lrd_trace.Trace.create
+            ~rates:(Array.map (fun v -> Float.max 0.0 (10.0 +. v)) xs)
+            ~slot:0.01
+      | "mginf" ->
+          Lrd_trace.Mginf.generate rng
+            ~slots:(if slots > 0 then slots else 65_536)
+            ~slot:0.01
+      | "dar" ->
+          let marginal =
+            Lrd_trace.Histogram.marginal_of_trace ~bins:50
+              (Lrd_trace.Video.generate_short rng ~n:16_384)
+          in
+          let dar = Lrd_baselines.Dar.create ~marginal ~rho:0.6 in
+          Lrd_baselines.Dar.generate dar rng
+            ~slots:(if slots > 0 then slots else 107_892)
+            ~slot:(1.0 /. 30.0)
+      | other -> failwith (Printf.sprintf "unknown trace kind %S" other)
+    in
+    Lrd_trace.Trace_io.save trace ~path:out;
+    Format.printf
+      "wrote %d samples (slot %.4g s, mean %.4g, std %.4g, peak %.4g) to %s@."
+      (Lrd_trace.Trace.length trace)
+      trace.Lrd_trace.Trace.slot
+      (Lrd_trace.Trace.mean trace)
+      (Lrd_trace.Trace.std trace)
+      (Lrd_trace.Trace.peak trace)
+      out
+  in
+  let doc = "generate a synthetic traffic trace" in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ seed_arg $ kind_arg $ slots_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* hurst *)
+
+let hurst_cmd =
+  let file_arg =
+    let doc = "Trace file to analyze." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run path =
+    match read_trace path with
+    | Error msg -> `Error (false, msg)
+    | Ok trace ->
+        let rates = trace.Lrd_trace.Trace.rates in
+        let report name (fit : Lrd_stats.Hurst.fit) =
+          Format.printf "%-24s H = %.3f (slope %.3f over %d points)@." name
+            fit.Lrd_stats.Hurst.hurst fit.Lrd_stats.Hurst.slope
+            (Array.length fit.Lrd_stats.Hurst.xs)
+        in
+        report "aggregated variance" (Lrd_stats.Hurst.aggregated_variance rates);
+        report "rescaled range (R/S)" (Lrd_stats.Hurst.rescaled_range rates);
+        report "GPH log-periodogram" (Lrd_stats.Hurst.gph rates);
+        report "Abry-Veitch wavelet" (Lrd_stats.Hurst.abry_veitch rates);
+        let whittle = Lrd_stats.Whittle.local_whittle rates in
+        Format.printf "%-24s H = %.3f (d = %.3f over %d frequencies)@."
+          "local Whittle" whittle.Lrd_stats.Whittle.hurst
+          whittle.Lrd_stats.Whittle.memory
+          whittle.Lrd_stats.Whittle.frequencies;
+        Format.printf "mean rate-residence epoch (50 bins): %.4g s@."
+          (Lrd_trace.Epochs.mean_epoch_duration ~bins:50 trace);
+        Format.printf
+          "@.logscale diagram (log2 energy per octave, 95%% bands):@.";
+        Array.iter
+          (fun p ->
+            Format.printf "  octave %2d: %8.3f  [%7.3f, %7.3f]  (%d coeffs)@."
+              p.Lrd_stats.Hurst.octave p.Lrd_stats.Hurst.log2_energy
+              p.Lrd_stats.Hurst.ci_low p.Lrd_stats.Hurst.ci_high
+              p.Lrd_stats.Hurst.coefficients)
+          (Lrd_stats.Hurst.logscale_diagram rates);
+        `Ok ()
+  in
+  let doc = "estimate the Hurst parameter of a trace, four ways" in
+  Cmd.v (Cmd.info "hurst" ~doc) Term.(ret (const run $ file_arg))
+
+(* ------------------------------------------------------------------ *)
+(* simulate *)
+
+let simulate_cmd =
+  let file_arg =
+    let doc = "Trace file to feed the queue." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let block_arg =
+    let doc = "Externally shuffle with this block size (samples) first." in
+    Arg.(value & opt (some int) None & info [ "block" ] ~docv:"SAMPLES" ~doc)
+  in
+  let run seed utilization buffer block path =
+    match read_trace path with
+    | Error msg -> `Error (false, msg)
+    | Ok trace ->
+        let trace =
+          match block with
+          | None -> trace
+          | Some b ->
+              Lrd_trace.Shuffle.external_shuffle
+                (Lrd_rng.Rng.create ~seed)
+                trace ~block:b
+        in
+        let c =
+          Lrd_trace.Trace.service_rate_for_utilization trace ~utilization
+        in
+        let sim =
+          Lrd_fluidsim.Queue_sim.make ~service_rate:c ~buffer:(buffer *. c) ()
+        in
+        let stats = Lrd_fluidsim.Queue_sim.run_trace sim trace in
+        Format.printf
+          "loss rate %.6g (lost %.6g of %.6g work; achieved utilization \
+           %.4f; max occupancy %.4g of %.4g)@."
+          (Lrd_fluidsim.Queue_sim.loss_rate stats)
+          stats.Lrd_fluidsim.Queue_sim.lost
+          stats.Lrd_fluidsim.Queue_sim.arrived
+          (Lrd_fluidsim.Queue_sim.utilization stats ~service_rate:c)
+          stats.Lrd_fluidsim.Queue_sim.max_occupancy (buffer *. c);
+        `Ok ()
+  in
+  let doc = "trace-driven finite-buffer fluid-queue simulation" in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      ret
+        (const run $ seed_arg $ utilization_arg $ buffer_arg $ block_arg
+       $ file_arg))
+
+(* ------------------------------------------------------------------ *)
+(* fit *)
+
+let fit_cmd =
+  let file_arg =
+    let doc = "Trace file to fit." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let hurst_arg =
+    let doc = "Hurst parameter (default: wavelet estimate from the trace)." in
+    Arg.(value & opt (some float) None & info [ "H"; "hurst" ] ~docv:"H" ~doc)
+  in
+  let run utilization buffer hurst path =
+    match read_trace path with
+    | Error msg -> `Error (false, msg)
+    | Ok trace ->
+        let model, cutoff =
+          Lrd_core.Fitting.for_buffer ?hurst trace ~utilization
+            ~buffer_seconds:buffer
+        in
+        Format.printf
+          "horizon-fitted model for B = %g s at utilization %g:@." buffer
+          utilization;
+        Format.printf "  %a@." Lrd_core.Model.pp model;
+        Format.printf
+          "  cutoff lag = correlation horizon = %.4g s (eq. 26, p = 0.01)@."
+          cutoff;
+        let result =
+          Lrd_core.Solver.solve_utilization model ~utilization
+            ~buffer_seconds:buffer
+        in
+        Format.printf "  predicted %a@." Lrd_core.Solver.pp_result result;
+        (* Cross-check against the trace itself. *)
+        let c =
+          Lrd_trace.Trace.service_rate_for_utilization trace ~utilization
+        in
+        let sim =
+          Lrd_fluidsim.Queue_sim.make ~service_rate:c ~buffer:(buffer *. c) ()
+        in
+        let stats = Lrd_fluidsim.Queue_sim.run_trace sim trace in
+        Format.printf "  trace-driven simulation: %.4g@."
+          (Lrd_fluidsim.Queue_sim.loss_rate stats);
+        `Ok ()
+  in
+  let doc =
+    "fit the most parsimonious adequate model for a target queue \
+     (cutoff = its correlation horizon)"
+  in
+  Cmd.v (Cmd.info "fit" ~doc)
+    Term.(
+      ret (const run $ utilization_arg $ buffer_arg $ hurst_arg $ file_arg))
+
+(* ------------------------------------------------------------------ *)
+(* ams *)
+
+let ams_cmd =
+  let sources_arg =
+    let doc = "Number of on/off sources." in
+    Arg.(value & opt int 6 & info [ "n"; "sources" ] ~docv:"N" ~doc)
+  in
+  let on_rate_arg =
+    let doc = "Rate emitted while ON." in
+    Arg.(value & opt float 1.0 & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let lambda_arg =
+    let doc = "OFF -> ON transition rate." in
+    Arg.(value & opt float 1.0 & info [ "lambda" ] ~docv:"L" ~doc)
+  in
+  let mu_arg =
+    let doc = "ON -> OFF transition rate." in
+    Arg.(value & opt float 2.0 & info [ "mu" ] ~docv:"M" ~doc)
+  in
+  let service_arg =
+    let doc = "Service rate (must avoid the lattice j * rate)." in
+    Arg.(value & opt float 2.7 & info [ "c"; "service" ] ~docv:"C" ~doc)
+  in
+  let levels_arg =
+    let doc = "Buffer levels to evaluate." in
+    Arg.(
+      value
+      & opt (list float) [ 0.5; 1.0; 2.0; 4.0 ]
+      & info [ "levels" ] ~docv:"LEVELS" ~doc)
+  in
+  let run sources on_rate lambda mu service_rate levels =
+    try
+      let sys =
+        Lrd_baselines.Ams.create ~sources ~on_rate ~lambda ~mu ~service_rate
+      in
+      Format.printf
+        "mean rate %.4g, utilization %.4f; negative eigenvalues:"
+        (Lrd_baselines.Ams.mean_rate sys)
+        (Lrd_baselines.Ams.utilization sys);
+      Array.iter
+        (fun z -> Format.printf " %.5g" z)
+        (Lrd_baselines.Ams.negative_eigenvalues sys);
+      Format.printf "@.%10s %16s %16s@." "level" "P(Q > level)"
+        "loss at B=level";
+      List.iter
+        (fun level ->
+          Format.printf "%10g %16.6e %16.6e@." level
+            (Lrd_baselines.Ams.overflow_probability sys ~level)
+            (Lrd_baselines.Ams.finite_buffer_loss sys ~buffer:level))
+        levels;
+      `Ok ()
+    with Invalid_argument msg | Failure msg -> `Error (false, msg)
+  in
+  let doc =
+    "exact Anick-Mitra-Sondhi analysis of N exponential on/off sources"
+  in
+  Cmd.v (Cmd.info "ams" ~doc)
+    Term.(
+      ret
+        (const run $ sources_arg $ on_rate_arg $ lambda_arg $ mu_arg
+       $ service_arg $ levels_arg))
+
+(* ------------------------------------------------------------------ *)
+(* stationarity *)
+
+let stationarity_cmd =
+  let file_arg =
+    let doc = "Trace file to diagnose." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run seed path =
+    match read_trace path with
+    | Error msg -> `Error (false, msg)
+    | Ok trace ->
+        let data = trace.Lrd_trace.Trace.rates in
+        let rng = Lrd_rng.Rng.create ~seed in
+        let cusum = Lrd_stats.Stationarity.cusum data in
+        Format.printf
+          "CUSUM statistic %.3f (short-memory 5%% critical value %.3f), \
+           change point at sample %d@."
+          cusum.Lrd_stats.Stationarity.statistic
+          cusum.Lrd_stats.Stationarity.critical_5pct
+          cusum.Lrd_stats.Stationarity.change_point;
+        Format.printf "split-half mean shift: %.2f standard errors@."
+          (Lrd_stats.Stationarity.split_half_mean_shift data);
+        let wavelet = (Lrd_stats.Hurst.abry_veitch data).Lrd_stats.Hurst.hurst in
+        let surrogate =
+          Lrd_stats.Stationarity.phase_randomized_surrogate rng data
+        in
+        let surrogate_h =
+          (Lrd_stats.Hurst.abry_veitch surrogate).Lrd_stats.Hurst.hurst
+        in
+        Format.printf
+          "wavelet H: %.3f (trace) vs %.3f (phase-randomized surrogate)@."
+          wavelet surrogate_h;
+        Format.printf
+          "(H surviving phase randomization favours genuine linear LRD; a \
+           CUSUM far beyond the critical value with a collapsing surrogate \
+           H favours level shifts - and under true LRD the CUSUM \
+           normalization over-rejects, which is the ambiguity the paper \
+           describes)@.";
+        `Ok ()
+  in
+  let doc = "LRD-vs-level-shift stationarity diagnostics for a trace" in
+  Cmd.v (Cmd.info "stationarity" ~doc)
+    Term.(ret (const run $ seed_arg $ file_arg))
+
+(* ------------------------------------------------------------------ *)
+(* provision *)
+
+let provision_cmd =
+  let target_arg =
+    let doc = "Target loss rate, in [1e-10, 1)." in
+    Arg.(value & opt float 1e-6 & info [ "target" ] ~docv:"LOSS" ~doc)
+  in
+  let knob_arg =
+    let doc = "Knob to invert: buffer, utilization, or streams." in
+    Arg.(value & opt string "buffer" & info [ "knob" ] ~docv:"KNOB" ~doc)
+  in
+  let marginal_arg =
+    let doc = "Built-in marginal: mtv or bellcore." in
+    Arg.(value & opt string "mtv" & info [ "marginal" ] ~docv:"NAME" ~doc)
+  in
+  let hurst_arg =
+    let doc = "Hurst parameter." in
+    Arg.(value & opt float 0.83 & info [ "H"; "hurst" ] ~docv:"H" ~doc)
+  in
+  let cutoff_arg =
+    let doc = "Cutoff lag in seconds (inf for self-similar)." in
+    Arg.(value & opt float Float.infinity & info [ "cutoff" ] ~docv:"TC" ~doc)
+  in
+  let run quick seed utilization buffer knob marginal_name trace hurst cutoff
+      target =
+    let ctx = Lrd_experiments.Data.create ~seed ~quick () in
+    let model_result =
+      match trace with
+      | Some path ->
+          Result.map
+            (fun t -> Lrd_core.Model.fit_from_trace ~hurst ~cutoff t)
+            (read_trace path)
+      | None ->
+          Result.map
+            (fun marginal ->
+              let mean_epoch =
+                if marginal_name = "bellcore" then
+                  Lrd_experiments.Data.bc_mean_epoch ctx
+                else Lrd_experiments.Data.mtv_mean_epoch ctx
+              in
+              let theta =
+                Lrd_dist.Interarrival.theta_for_mean_epoch ~mean_epoch
+                  ~alpha:(Lrd_core.Model.alpha_of_hurst hurst)
+                  ()
+              in
+              Lrd_core.Model.of_hurst ~marginal ~hurst ~theta ~cutoff)
+            (builtin_marginal ctx marginal_name)
+    in
+    match model_result with
+    | Error msg -> `Error (false, msg)
+    | Ok model -> (
+        let describe label = function
+          | Lrd_core.Provision.Achieved v ->
+              Format.printf "%s: %.5g@." label v
+          | Lrd_core.Provision.Unachievable_within v ->
+              Format.printf "%s: not achievable within %.5g@." label v
+        in
+        try
+          (match knob with
+          | "buffer" ->
+              describe "required buffer (seconds)"
+                (Lrd_core.Provision.buffer_for_loss model ~utilization
+                   ~target)
+          | "utilization" ->
+              describe "maximum utilization"
+                (Lrd_core.Provision.utilization_for_loss model
+                   ~buffer_seconds:buffer ~target)
+          | "streams" ->
+              describe "required multiplexed streams"
+                (Lrd_core.Provision.streams_for_loss model ~utilization
+                   ~buffer_seconds:buffer ~target)
+          | other ->
+              failwith
+                (Printf.sprintf
+                   "unknown knob %S (expected buffer, utilization, streams)"
+                   other));
+          `Ok ()
+        with Failure msg | Invalid_argument msg -> `Error (false, msg))
+  in
+  let doc = "invert the solver: parameter needed to meet a loss target" in
+  Cmd.v (Cmd.info "provision" ~doc)
+    Term.(
+      ret
+        (const run $ quick_arg $ seed_arg $ utilization_arg $ buffer_arg
+       $ knob_arg $ marginal_arg $ trace_file_arg $ hurst_arg $ cutoff_arg
+       $ target_arg))
+
+(* ------------------------------------------------------------------ *)
+(* experiment *)
+
+let experiment_cmd =
+  let ids_arg =
+    let doc = "Experiment ids to run (default: all).  Use $(b,list) to \
+               print the available ids." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let run quick seed ids =
+    let ctx = Lrd_experiments.Data.create ~seed ~quick () in
+    match ids with
+    | [ "list" ] ->
+        List.iter
+          (fun e ->
+            Format.printf "%-18s %s@." e.Lrd_experiments.Registry.id
+              e.Lrd_experiments.Registry.title)
+          Lrd_experiments.Registry.all;
+        `Ok ()
+    | [] ->
+        Lrd_experiments.Registry.run ctx Format.std_formatter;
+        `Ok ()
+    | ids -> (
+        try
+          Lrd_experiments.Registry.run ~only:ids ctx Format.std_formatter;
+          `Ok ()
+        with Invalid_argument msg -> `Error (false, msg))
+  in
+  let doc = "run the paper's figures and the ablations" in
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(ret (const run $ quick_arg $ seed_arg $ ids_arg))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc =
+    "cutoff-correlated fluid traffic model and finite-buffer loss solver \
+     (Grossglauser & Bolot, SIGCOMM '96)"
+  in
+  let info = Cmd.info "lrd" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            solve_cmd;
+            trace_cmd;
+            hurst_cmd;
+            simulate_cmd;
+            provision_cmd;
+            fit_cmd;
+            ams_cmd;
+            stationarity_cmd;
+            experiment_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/arq_fec.ml: Array Float Format List Lrd_fluidsim Lrd_rng Lrd_trace Printf

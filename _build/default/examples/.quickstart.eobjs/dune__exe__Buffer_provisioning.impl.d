@@ -1,0 +1,1 @@
+examples/buffer_provisioning.ml: Float Format Fun List Lrd_core Lrd_dist

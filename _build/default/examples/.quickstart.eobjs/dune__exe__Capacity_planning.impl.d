@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Format Lrd_core Lrd_dist Lrd_rng Lrd_trace Printf

@@ -1,0 +1,1 @@
+examples/ethernet_gateway.ml: Array Float Format List Lrd_core Lrd_fluidsim Lrd_rng Lrd_stats Lrd_trace

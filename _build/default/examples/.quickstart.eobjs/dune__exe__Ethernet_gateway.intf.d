@@ -1,0 +1,1 @@
+examples/ethernet_gateway.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Lrd_core Lrd_dist Lrd_fluidsim Lrd_rng

@@ -1,0 +1,1 @@
+examples/service_classes.ml: Array Format List Lrd_fluidsim Lrd_rng Lrd_trace Printf

@@ -1,0 +1,1 @@
+examples/video_multiplexer.ml: Format Lrd_core Lrd_dist Lrd_rng Lrd_trace

@@ -1,0 +1,92 @@
+(* Buffer provisioning: how much does enlarging a switch buffer help?
+
+   The answer depends on how far the traffic's correlation extends
+   (paper Figs. 4-5 and the "buffer ineffectiveness" discussion).  For
+   short-range dependent traffic, loss falls roughly exponentially in
+   the buffer; once the source carries correlation over many time
+   scales, extra buffer buys very little, because long bursts arrive at
+   time scales the buffer cannot absorb.
+
+   This example sweeps the buffer for the same marginal under three
+   correlation structures — cutoff at 0.5 s, cutoff at 50 s, and the
+   untruncated self-similar source — and prints the marginal benefit of
+   each doubling.
+
+   Run with: dune exec examples/buffer_provisioning.exe *)
+
+let utilization = 0.75
+
+let () =
+  let marginal =
+    Lrd_dist.Marginal.of_points
+      [ (0.0, 0.4); (1.0, 0.35); (2.5, 0.2); (5.0, 0.05) ]
+  in
+  let hurst = 0.85 in
+  let theta =
+    Lrd_dist.Interarrival.theta_for_mean_epoch ~mean_epoch:0.05
+      ~alpha:(Lrd_core.Model.alpha_of_hurst hurst)
+      ()
+  in
+  let variants =
+    [
+      ("cutoff 0.5 s (SRD-ish)", 0.5);
+      ("cutoff 50 s", 50.0);
+      ("self-similar (inf)", Float.infinity);
+    ]
+  in
+  let buffers = [ 0.0625; 0.125; 0.25; 0.5; 1.0; 2.0; 4.0 ] in
+  Format.printf
+    "marginal: mean %.3g, std %.3g; utilization %g; H = %g@.@."
+    (Lrd_dist.Marginal.mean marginal)
+    (Lrd_dist.Marginal.std marginal)
+    utilization hurst;
+  Format.printf "%10s" "buffer_s";
+  List.iter (fun (name, _) -> Format.printf " %22s" name) variants;
+  Format.printf "@.";
+  let losses =
+    List.map
+      (fun (_, cutoff) ->
+        let model = Lrd_core.Model.of_hurst ~marginal ~hurst ~theta ~cutoff in
+        List.map
+          (fun b ->
+            (Lrd_core.Solver.solve_utilization model ~utilization
+               ~buffer_seconds:b)
+              .Lrd_core.Solver.loss)
+          buffers)
+      variants
+  in
+  List.iteri
+    (fun i b ->
+      Format.printf "%10g" b;
+      List.iter
+        (fun column -> Format.printf " %22.3e" (List.nth column i))
+        losses;
+      Format.printf "@.")
+    buffers;
+  (* Quantify buffer effectiveness: loss reduction per buffer doubling,
+     averaged over the sweep. *)
+  Format.printf "@.average loss reduction per buffer doubling:@.";
+  List.iteri
+    (fun j (name, _) ->
+      let column = List.nth losses j in
+      let ratios =
+        List.filteri (fun i _ -> i > 0) column
+        |> List.mapi (fun i l ->
+               let prev = List.nth column i in
+               if l > 0.0 && prev > 0.0 then Some (prev /. l) else None)
+        |> List.filter_map Fun.id
+      in
+      let geometric_mean =
+        match ratios with
+        | [] -> Float.nan
+        | rs ->
+            exp
+              (List.fold_left (fun acc r -> acc +. log r) 0.0 rs
+              /. float_of_int (List.length rs))
+      in
+      Format.printf "  %-22s %.2fx per doubling@." name geometric_mean)
+    variants;
+  Format.printf
+    "@.takeaway: buffer doublings pay off handsomely only while the \
+     correlation is short; for long-memory input, control the marginal \
+     (multiplexing, source rate control) instead.@."

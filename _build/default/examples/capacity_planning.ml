@@ -1,0 +1,88 @@
+(* Capacity planning with certified bounds: dimension a video service
+   end to end.
+
+   Given a loss target, use the inverse solvers to compare the three
+   control knobs (buffer, utilization headroom, statistical
+   multiplexing), then report the delay consequences of the chosen
+   design from the certified occupancy distribution — buffering trades
+   loss against delay, multiplexing does not.
+
+   Run with: dune exec examples/capacity_planning.exe *)
+
+let target = 1e-6
+
+let () =
+  let rng = Lrd_rng.Rng.create ~seed:21L in
+  let trace = Lrd_trace.Video.generate_short rng ~n:32_768 in
+  let model = Lrd_core.Model.fit_from_trace ~hurst:0.83 trace in
+  Format.printf "source: %a@." Lrd_core.Model.pp model;
+  Format.printf "loss target: %.0e@.@." target;
+
+  let describe = function
+    | Lrd_core.Provision.Achieved v -> Printf.sprintf "%.4g" v
+    | Lrd_core.Provision.Unachievable_within v ->
+        Printf.sprintf "unachievable within %.4g" v
+  in
+
+  (* Knob 1: buffer at 80% utilization. *)
+  let buffer_outcome =
+    Lrd_core.Provision.buffer_for_loss ~max_buffer_seconds:20.0 model
+      ~utilization:0.8 ~target
+  in
+  Format.printf "buffer needed at util 0.8:            %s s@."
+    (describe buffer_outcome);
+
+  (* Knob 2: utilization at a 50 ms buffer. *)
+  let util_outcome =
+    Lrd_core.Provision.utilization_for_loss model ~buffer_seconds:0.05
+      ~target
+  in
+  Format.printf "max utilization at B = 50 ms:         %s@."
+    (describe util_outcome);
+
+  (* Knob 3: multiplexed streams at util 0.8, 50 ms per-stream buffer. *)
+  let streams_outcome =
+    Lrd_core.Provision.streams_for_loss model ~utilization:0.8
+      ~buffer_seconds:0.05 ~target
+  in
+  Format.printf "streams at util 0.8, B = 50 ms:       %s@.@."
+    (describe streams_outcome);
+
+  (* Delay analysis of the multiplexing design. *)
+  (match streams_outcome with
+  | Lrd_core.Provision.Achieved n ->
+      let n = int_of_float n in
+      let marginal =
+        Lrd_dist.Marginal.superpose model.Lrd_core.Model.marginal ~n
+      in
+      let mux_model = { model with Lrd_core.Model.marginal } in
+      let c =
+        Lrd_core.Model.service_rate_for_utilization mux_model
+          ~utilization:0.8
+      in
+      let result, occupancy =
+        Lrd_core.Solver.solve_detailed mux_model ~service_rate:c
+          ~buffer:(0.05 *. c)
+      in
+      let delay_lo, delay_hi =
+        Lrd_core.Solver.mean_virtual_delay occupancy ~service_rate:c
+      in
+      let p99_lo, p99_hi =
+        Lrd_core.Solver.occupancy_quantile occupancy ~p:0.99
+      in
+      Format.printf
+        "chosen design: %d multiplexed streams, util 0.8, 50 ms buffer@." n;
+      Format.printf "  certified loss:        %s (bounds [%s, %s])@."
+        (Printf.sprintf "%.3e" result.Lrd_core.Solver.loss)
+        (Printf.sprintf "%.3e" result.Lrd_core.Solver.lower_bound)
+        (Printf.sprintf "%.3e" result.Lrd_core.Solver.upper_bound);
+      Format.printf "  mean virtual delay:    [%.3g, %.3g] ms@."
+        (1000.0 *. delay_lo) (1000.0 *. delay_hi);
+      Format.printf "  p99 occupancy delay:   [%.3g, %.3g] ms@."
+        (1000.0 *. p99_lo /. c) (1000.0 *. p99_hi /. c)
+  | Lrd_core.Provision.Unachievable_within _ ->
+      Format.printf "multiplexing design not found within the stream cap@.");
+  Format.printf
+    "@.takeaway: buffering toward the loss target also buys delay; the \
+     multiplexing design meets the target with the delay of a 50 ms \
+     buffer - the paper's recommendation made concrete.@."

@@ -1,0 +1,1 @@
+lib/baselines/ams.ml: Array Float Fun List Lrd_numerics Lrd_rng Printf

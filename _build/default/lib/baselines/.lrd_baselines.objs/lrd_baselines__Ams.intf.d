@@ -1,0 +1,1 @@
+lib/baselines/ams.mli: Lrd_rng

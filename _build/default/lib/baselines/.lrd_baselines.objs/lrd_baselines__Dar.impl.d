@@ -1,0 +1,1 @@
+lib/baselines/dar.ml: Array Lrd_dist Lrd_rng Lrd_trace

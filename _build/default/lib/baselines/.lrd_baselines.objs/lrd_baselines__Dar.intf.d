@@ -1,0 +1,1 @@
+lib/baselines/dar.mli: Lrd_dist Lrd_rng Lrd_trace

@@ -1,0 +1,1 @@
+lib/baselines/markov_chain.ml: Array Float List Lrd_dist Lrd_numerics Lrd_rng Lrd_trace

@@ -1,0 +1,1 @@
+lib/baselines/markov_chain.mli: Lrd_dist Lrd_rng Lrd_trace

@@ -1,0 +1,1 @@
+lib/baselines/multiscale.ml: Array Float Lrd_numerics Lrd_rng Lrd_trace Markov_chain

@@ -1,0 +1,1 @@
+lib/baselines/multiscale.mli: Lrd_rng Lrd_trace Markov_chain

@@ -1,0 +1,1 @@
+lib/control/rcbr.ml: Array Float Lrd_trace

@@ -1,0 +1,1 @@
+lib/control/rcbr.mli: Lrd_trace

@@ -1,0 +1,1 @@
+lib/control/token_bucket.ml: Array Float Lrd_numerics Lrd_trace

@@ -1,0 +1,1 @@
+lib/control/token_bucket.mli: Lrd_trace

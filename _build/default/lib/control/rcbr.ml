@@ -1,0 +1,86 @@
+type params = {
+  interval : float;
+  quantile : float;
+  headroom : float;
+  hysteresis : float;
+}
+
+let default =
+  { interval = 1.0; quantile = 0.9; headroom = 0.1; hysteresis = 0.05 }
+
+type result = {
+  reserved : Lrd_trace.Trace.t;
+  renegotiations : int;
+  renegotiation_rate : float;
+  mean_reservation : float;
+  reservation_std : float;
+  smoothing_backlog : float;
+}
+
+(* Quantile of a scratch copy (small windows; sorting is fine). *)
+let window_quantile data ~p =
+  let sorted = Array.copy data in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let idx =
+    min (n - 1) (int_of_float (Float.round (p *. float_of_int (n - 1))))
+  in
+  sorted.(idx)
+
+let control ?(params = default) trace =
+  if not (params.interval > 0.0) then
+    invalid_arg "Rcbr.control: interval must be positive";
+  if not (params.quantile > 0.0 && params.quantile <= 1.0) then
+    invalid_arg "Rcbr.control: quantile must lie in (0, 1]";
+  if not (params.headroom >= 0.0) then
+    invalid_arg "Rcbr.control: headroom must be nonnegative";
+  let slot = trace.Lrd_trace.Trace.slot in
+  let window = max 1 (int_of_float (Float.round (params.interval /. slot))) in
+  let n = Lrd_trace.Trace.length trace in
+  if n < window then
+    invalid_arg "Rcbr.control: trace shorter than one interval";
+  let rates = trace.Lrd_trace.Trace.rates in
+  let reserved = Array.make n 0.0 in
+  (* Initial reservation from the first window (the paper's service
+     would use the signalled traffic descriptor; the first window is
+     the honest equivalent). *)
+  let current =
+    ref
+      (window_quantile (Array.sub rates 0 window) ~p:params.quantile
+      *. (1.0 +. params.headroom))
+  in
+  let renegotiations = ref 0 in
+  let backlog = ref 0.0 and max_backlog = ref 0.0 in
+  for i = 0 to n - 1 do
+    (* Renegotiate at interval boundaries based on the last window. *)
+    if i > 0 && i mod window = 0 then begin
+      let proposal =
+        window_quantile (Array.sub rates (i - window) window)
+          ~p:params.quantile
+        *. (1.0 +. params.headroom)
+      in
+      let relative_change =
+        Float.abs (proposal -. !current) /. Float.max !current 1e-12
+      in
+      if relative_change > params.hysteresis then begin
+        current := proposal;
+        incr renegotiations
+      end
+    end;
+    reserved.(i) <- !current;
+    (* Source-side smoothing buffer absorbs work above the reservation
+       and drains when the rate dips below it. *)
+    backlog :=
+      Float.max 0.0 (!backlog +. ((rates.(i) -. !current) *. slot));
+    if !backlog > !max_backlog then max_backlog := !backlog
+  done;
+  let reserved_trace = Lrd_trace.Trace.create ~rates:reserved ~slot in
+  {
+    reserved = reserved_trace;
+    renegotiations = !renegotiations;
+    renegotiation_rate =
+      float_of_int !renegotiations /. Lrd_trace.Trace.duration trace;
+    mean_reservation = Lrd_trace.Trace.mean reserved_trace;
+    reservation_std = Lrd_trace.Trace.std reserved_trace;
+    smoothing_backlog = !max_backlog;
+  }

@@ -1,0 +1,44 @@
+(** Renegotiated CBR: the feedback rate control the paper points to.
+
+    Section III closes by suggesting "a feedback-based rate control
+    mechanism" as the efficient way to reshape an LRD source's marginal,
+    citing the authors' RCBR service (Grossglauser, Keshav & Tse): the
+    source periodically renegotiates a constant reservation that tracks
+    its slow (scene-level) rate variations, while a small buffer absorbs
+    the fast ones.  The carried process then has the reservation's
+    marginal — much narrower than the raw rate's — at the price of a
+    bounded renegotiation signalling rate.
+
+    This implementation renegotiates at fixed intervals to a safety
+    quantile of the rates observed over the previous interval (the
+    measurement window), with hysteresis to suppress chatter. *)
+
+type params = {
+  interval : float;  (** Renegotiation interval (s). *)
+  quantile : float;  (** Reservation = this quantile of the last window. *)
+  headroom : float;  (** Multiplicative safety margin on the reservation. *)
+  hysteresis : float;
+      (** Skip a renegotiation when the new reservation is within this
+          relative distance of the current one. *)
+}
+
+val default : params
+(** 1 s interval, 0.9 quantile, 10% headroom, 5% hysteresis. *)
+
+type result = {
+  reserved : Lrd_trace.Trace.t;
+      (** The reservation process — the traffic the network must carry;
+          its marginal is what the queue sees. *)
+  renegotiations : int;  (** Number of reservation changes. *)
+  renegotiation_rate : float;  (** Changes per second. *)
+  mean_reservation : float;
+  reservation_std : float;
+  smoothing_backlog : float;
+      (** Largest backlog the source-side smoothing buffer absorbed
+          (work above the reservation within an interval). *)
+}
+
+val control : ?params:params -> Lrd_trace.Trace.t -> result
+(** Runs the controller over the trace.  @raise Invalid_argument on a
+    nonpositive interval, a quantile outside (0, 1], negative headroom,
+    or a trace shorter than one renegotiation interval. *)

@@ -1,0 +1,41 @@
+type result = {
+  shaped : Lrd_trace.Trace.t;
+  delayed_work : float;
+  dropped_work : float;
+  max_shaper_backlog : float;
+}
+
+let shape ~rate ~burst ?(shaper_buffer = Float.infinity) trace =
+  if not (rate > 0.0) then
+    invalid_arg "Token_bucket.shape: rate must be positive";
+  if not (burst >= 0.0) then
+    invalid_arg "Token_bucket.shape: burst must be nonnegative";
+  if not (shaper_buffer >= 0.0) then
+    invalid_arg "Token_bucket.shape: buffer must be nonnegative";
+  let slot = trace.Lrd_trace.Trace.slot in
+  let tokens = ref burst and backlog = ref 0.0 in
+  let delayed = Lrd_numerics.Summation.create () in
+  let dropped = Lrd_numerics.Summation.create () in
+  let max_backlog = ref 0.0 in
+  let shaped =
+    Array.map
+      (fun input_rate ->
+        let supply = !tokens +. (rate *. slot) in
+        let demand = !backlog +. (input_rate *. slot) in
+        let sent = Float.min demand supply in
+        let leftover = demand -. sent in
+        let kept = Float.min leftover shaper_buffer in
+        Lrd_numerics.Summation.add dropped (leftover -. kept);
+        Lrd_numerics.Summation.add delayed kept;
+        backlog := kept;
+        if kept > !max_backlog then max_backlog := kept;
+        tokens := Float.min burst (supply -. sent);
+        sent /. slot)
+      trace.Lrd_trace.Trace.rates
+  in
+  {
+    shaped = Lrd_trace.Trace.create ~rates:shaped ~slot;
+    delayed_work = Lrd_numerics.Summation.total delayed;
+    dropped_work = Lrd_numerics.Summation.total dropped;
+    max_shaper_backlog = !max_backlog;
+  }

@@ -1,0 +1,26 @@
+(** Token-bucket traffic shaping.
+
+    The open-loop version of the paper's "source traffic control":
+    a bucket of depth [burst] fills at [rate]; traffic passes while
+    tokens last and the excess is queued in a shaping buffer (delayed)
+    or dropped when that buffer is full.  Shaping clips the marginal's
+    upper tail — exactly the scaling-down transformation the paper shows
+    to dominate buffering. *)
+
+type result = {
+  shaped : Lrd_trace.Trace.t;  (** Rate trace entering the network. *)
+  delayed_work : float;  (** Work that waited in the shaping buffer. *)
+  dropped_work : float;  (** Work dropped at the shaper. *)
+  max_shaper_backlog : float;
+}
+
+val shape :
+  rate:float ->
+  burst:float ->
+  ?shaper_buffer:float ->
+  Lrd_trace.Trace.t ->
+  result
+(** Shapes the trace slot by slot (fluid within a slot).  The default
+    shaping buffer is infinite (pure delaying shaper).
+    @raise Invalid_argument unless [rate > 0], [burst >= 0] and the
+    buffer is nonnegative. *)

@@ -1,0 +1,1 @@
+lib/core/asymptotics.ml: Array Float Lrd_dist Lrd_numerics

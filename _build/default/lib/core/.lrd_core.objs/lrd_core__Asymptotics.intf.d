@@ -1,0 +1,1 @@
+lib/core/asymptotics.mli: Lrd_dist

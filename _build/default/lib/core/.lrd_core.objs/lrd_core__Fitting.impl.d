@@ -1,0 +1,1 @@
+lib/core/fitting.ml: Array Float Horizon Lrd_dist Lrd_numerics Lrd_stats Lrd_trace Model

@@ -1,0 +1,1 @@
+lib/core/fitting.mli: Lrd_trace Model

@@ -1,0 +1,1 @@
+lib/core/horizon.ml: Array Float Lrd_dist Lrd_numerics Model

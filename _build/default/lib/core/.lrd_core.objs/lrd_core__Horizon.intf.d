@@ -1,0 +1,1 @@
+lib/core/horizon.mli: Model

@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Float Format Lrd_dist Lrd_stats Lrd_trace

@@ -1,0 +1,1 @@
+lib/core/model.mli: Format Lrd_dist Lrd_rng Lrd_trace

@@ -1,0 +1,1 @@
+lib/core/provision.ml: Lrd_dist Model Solver

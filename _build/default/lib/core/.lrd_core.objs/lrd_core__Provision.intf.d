@@ -1,0 +1,1 @@
+lib/core/provision.mli: Model Solver

@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Float Format List Logs Lrd_dist Lrd_numerics Model Workload

@@ -1,0 +1,1 @@
+lib/core/workload.ml: Array Float Lrd_dist Lrd_numerics Model

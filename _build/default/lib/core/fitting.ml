@@ -1,0 +1,34 @@
+let for_buffer ?(bins = 50) ?hurst ?(no_reset_probability = 0.01) trace
+    ~utilization ~buffer_seconds =
+  let hurst =
+    match hurst with
+    | Some h -> Float.max 0.55 (Float.min 0.95 h)
+    | None ->
+        Float.max 0.55
+          (Float.min 0.95
+             (Lrd_stats.Hurst.abry_veitch trace.Lrd_trace.Trace.rates)
+               .Lrd_stats.Hurst.hurst)
+  in
+  let alpha = Model.alpha_of_hurst hurst in
+  let marginal = Lrd_trace.Histogram.marginal_of_trace ~bins trace in
+  let mean_epoch = Lrd_trace.Epochs.mean_epoch_duration ~bins trace in
+  (* Theta matched at infinite cutoff, as in the paper's procedure. *)
+  let theta =
+    Lrd_dist.Interarrival.theta_for_mean_epoch ~mean_epoch ~alpha ()
+  in
+  let c = Lrd_dist.Marginal.mean marginal /. utilization in
+  (* Eq. 26 from the trace's empirical epoch statistics. *)
+  let hist = Lrd_trace.Histogram.of_trace ~bins trace in
+  let runs =
+    Array.map
+      (fun r -> float_of_int r *. trace.Lrd_trace.Trace.slot)
+      (Lrd_trace.Epochs.run_lengths hist trace)
+  in
+  let cutoff =
+    Horizon.estimate ~no_reset_probability ~buffer:(buffer_seconds *. c)
+      ~mean_epoch
+      ~epoch_std:(sqrt (Lrd_numerics.Array_ops.variance runs))
+      ~rate_std:(Lrd_trace.Trace.std trace) ()
+  in
+  (Model.cutoff_pareto ~marginal ~theta ~alpha ~cutoff, cutoff)
+

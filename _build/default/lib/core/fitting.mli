@@ -1,0 +1,29 @@
+(** Horizon-aware model fitting: the paper's main message as an
+    algorithm.
+
+    Section IV's conclusion is that any model capturing the traffic's
+    correlation {e up to the correlation horizon of the target system}
+    predicts the same loss; beyond that lag, correlation is irrelevant.
+    {!for_buffer} turns this into a fitting procedure: marginal, theta
+    and alpha come from the trace as in {!Model.fit_from_trace}, and the
+    cutoff lag is set to the eq. 26 horizon of the queue being designed
+    — producing the most parsimonious adequate model (finite memory, no
+    LRD) for that queue. *)
+
+val for_buffer :
+  ?bins:int ->
+  ?hurst:float ->
+  ?no_reset_probability:float ->
+  Lrd_trace.Trace.t ->
+  utilization:float ->
+  buffer_seconds:float ->
+  Model.t * float
+(** Returns the fitted model and the chosen cutoff lag (seconds).  The
+    horizon is evaluated from the trace's empirical epoch statistics at
+    [B = buffer_seconds * c], [c = mean / utilization]; the default
+    [no_reset_probability] is a conservative 0.01.  Because the
+    loss-vs-cutoff curve converges only hyperbolically for strongly
+    LRD sources, the horizon-fitted model tracks the full self-similar
+    fit within a small factor (rather than exactly) at its design
+    buffer — versus the orders of magnitude lost by truncating below
+    the horizon; see the [ext-parsimony] experiment. *)

@@ -1,0 +1,61 @@
+let estimate ?(no_reset_probability = 0.05) ~buffer ~mean_epoch ~epoch_std
+    ~rate_std () =
+  if not (buffer > 0.0) then invalid_arg "Horizon.estimate: buffer <= 0";
+  if not (mean_epoch > 0.0) then
+    invalid_arg "Horizon.estimate: mean epoch <= 0";
+  if not (epoch_std >= 0.0) then invalid_arg "Horizon.estimate: epoch std < 0";
+  if not (rate_std >= 0.0) then invalid_arg "Horizon.estimate: rate std < 0";
+  if not (no_reset_probability > 0.0 && no_reset_probability < 1.0) then
+    invalid_arg "Horizon.estimate: probability must lie in (0, 1)";
+  if epoch_std = 0.0 || rate_std = 0.0 then Float.infinity
+  else if not (Float.is_finite epoch_std) then 0.0
+  else
+    buffer *. mean_epoch
+    /. (2.0 *. sqrt 2.0 *. epoch_std *. rate_std
+       *. Lrd_numerics.Special.erf_inv no_reset_probability)
+
+let estimate_for_model ?no_reset_probability model ~buffer =
+  let law = model.Model.interarrival in
+  let epoch_std =
+    let v = law.Lrd_dist.Interarrival.variance in
+    if Float.is_finite v then sqrt v else Float.infinity
+  in
+  estimate ?no_reset_probability ~buffer
+    ~mean_epoch:law.Lrd_dist.Interarrival.mean ~epoch_std
+    ~rate_std:(sqrt (Model.rate_variance model))
+    ()
+
+let critical_time_scale ~hurst ~buffer ~drift =
+  if not (hurst > 0.0 && hurst < 1.0) then
+    invalid_arg "Horizon.critical_time_scale: hurst must lie in (0, 1)";
+  if not (buffer > 0.0) then
+    invalid_arg "Horizon.critical_time_scale: buffer must be positive";
+  if not (drift > 0.0) then
+    invalid_arg "Horizon.critical_time_scale: drift must be positive";
+  buffer /. drift *. (hurst /. (1.0 -. hurst))
+
+let detect ?(flatness = 0.25) series =
+  let n = Array.length series in
+  if n = 0 then None
+  else begin
+    for i = 1 to n - 1 do
+      if fst series.(i) <= fst series.(i - 1) then
+        invalid_arg "Horizon.detect: cutoffs must be strictly increasing"
+    done;
+    let final = snd series.(n - 1) in
+    let within loss =
+      if final = 0.0 then loss = 0.0
+      else if loss = 0.0 then false
+      else begin
+        let ratio = loss /. final in
+        ratio <= 1.0 +. flatness && ratio >= 1.0 /. (1.0 +. flatness)
+      end
+    in
+    (* Smallest index from which the series stays flat to the end. *)
+    let rec first_flat i =
+      if i < 0 then 0 else if within (snd series.(i)) then first_flat (i - 1)
+      else i + 1
+    in
+    let idx = first_flat (n - 1) in
+    if idx >= n then None else Some (fst series.(idx))
+  end

@@ -1,0 +1,62 @@
+(** The correlation horizon (paper Section IV).
+
+    A finite buffer "forgets" its past whenever it empties or fills (the
+    resetting effect), so correlation in the arrivals at lags beyond the
+    time within which a reset is near-certain cannot influence the loss
+    rate.  The paper estimates this horizon with a central-limit
+    argument, giving eq. 26:
+
+    [T_CH = B mu / (2 sqrt 2 sigma_T sigma_lambda erf^-1(p))]
+
+    where [mu] is the mean epoch length, [sigma_T] and [sigma_lambda]
+    the standard deviations of the epoch length and of the rate marginal,
+    and [p] the tolerated probability of {e no} reset.  The estimate
+    scales linearly with the buffer — the [B / T_c = const] ridge of
+    Fig. 14. *)
+
+val estimate :
+  ?no_reset_probability:float ->
+  buffer:float ->
+  mean_epoch:float ->
+  epoch_std:float ->
+  rate_std:float ->
+  unit ->
+  float
+(** Eq. 26 verbatim.  [no_reset_probability] (default 0.05) is the
+    residual probability that no reset happens within the horizon; the
+    smaller it is, the longer (more conservative) the horizon.
+    @raise Invalid_argument unless all quantities are positive and the
+    probability lies in (0, 1). *)
+
+val estimate_for_model :
+  ?no_reset_probability:float -> Model.t -> buffer:float -> float
+(** {!estimate} with the moments taken from the model.  The epoch
+    variance of an untruncated Pareto with [alpha <= 2] is infinite, in
+    which case the estimate degenerates to 0 — eq. 26 presumes a finite
+    cutoff (or an empirical trace, whose variance is always finite). *)
+
+val critical_time_scale :
+  hurst:float -> buffer:float -> drift:float -> float
+(** The Critical Time Scale of Ryu & Elwalid (SIGCOMM '96), which the
+    paper's Section IV discusses as the independent large-deviations
+    counterpart of its correlation horizon: for Gaussian self-similar
+    input with Hurst parameter [H], the overflow probability at level
+    [B] is dominated by fluctuations over the time scale
+
+    [t* = (B / drift) * H / (1 - H)]
+
+    where [drift = c - mean rate] is the service slack (the maximizer of
+    [Var A(t) / (B + drift t)^2]).  Like eq. 26 it is linear in the
+    buffer.  @raise Invalid_argument unless [0 < hurst < 1] and both
+    [buffer] and [drift] are positive. *)
+
+val detect :
+  ?flatness:float -> (float * float) array -> float option
+(** Empirical correlation horizon from a measured loss-vs-cutoff series
+    [(T_c, loss)]: the smallest cutoff beyond which every loss value
+    stays within a factor [1 + flatness] (default 0.25) of the loss at
+    the largest cutoff.  Returns [None] when the series never flattens
+    (the last point alone always qualifies, so [None] only occurs for an
+    empty series or when the final loss is zero while earlier losses are
+    not).  The input must be sorted by cutoff.
+    @raise Invalid_argument if cutoffs are not strictly increasing. *)

@@ -1,0 +1,89 @@
+type outcome = Achieved of float | Unachievable_within of float
+
+let check_target target =
+  if not (target >= 1e-10 && target < 1.0) then
+    invalid_arg "Provision: target loss must lie in [1e-10, 1)"
+
+let loss ?params model ~utilization ~buffer_seconds =
+  (Solver.solve_utilization ?params model ~utilization ~buffer_seconds)
+    .Solver.loss
+
+let buffer_for_loss ?params ?(max_buffer_seconds = 30.0) model ~utilization
+    ~target =
+  check_target target;
+  if not (utilization > 0.0 && utilization < 1.0) then
+    invalid_arg "Provision.buffer_for_loss: utilization must lie in (0, 1)";
+  let loss_at b = loss ?params model ~utilization ~buffer_seconds:b in
+  if loss_at max_buffer_seconds > target then
+    Unachievable_within max_buffer_seconds
+  else if loss_at 0.0 <= target then Achieved 0.0
+  else begin
+    (* Loss is nonincreasing in the buffer: bisect to 5% relative. *)
+    let rec go lo hi =
+      if hi -. lo <= 0.05 *. hi then Achieved hi
+      else begin
+        let mid = (lo +. hi) /. 2.0 in
+        if loss_at mid <= target then go lo mid else go mid hi
+      end
+    in
+    go 0.0 max_buffer_seconds
+  end
+
+let utilization_for_loss ?params ?(min_utilization = 0.05) model
+    ~buffer_seconds ~target =
+  check_target target;
+  if not (min_utilization > 0.0 && min_utilization < 1.0) then
+    invalid_arg
+      "Provision.utilization_for_loss: min utilization must lie in (0, 1)";
+  let loss_at u = loss ?params model ~utilization:u ~buffer_seconds in
+  if loss_at min_utilization > target then
+    Unachievable_within min_utilization
+  else begin
+    (* Loss is nondecreasing in the utilization: find the largest
+       admissible value by bisection to 1% absolute. *)
+    let hi0 = 0.999 in
+    if loss_at hi0 <= target then Achieved hi0
+    else begin
+      let rec go lo hi =
+        if hi -. lo <= 0.01 then Achieved lo
+        else begin
+          let mid = (lo +. hi) /. 2.0 in
+          if loss_at mid <= target then go mid hi else go lo mid
+        end
+      in
+      go min_utilization hi0
+    end
+  end
+
+let streams_for_loss ?params ?(max_streams = 64) model ~utilization
+    ~buffer_seconds ~target =
+  check_target target;
+  if max_streams < 1 then
+    invalid_arg "Provision.streams_for_loss: max_streams must be positive";
+  let loss_with n =
+    let marginal =
+      Lrd_dist.Marginal.superpose model.Model.marginal ~n
+    in
+    loss ?params
+      { model with Model.marginal }
+      ~utilization ~buffer_seconds
+  in
+  (* Loss decreases in n; exponential search then bisection on the
+     integer count. *)
+  let rec bracket n =
+    if loss_with n <= target then Some n
+    else if n >= max_streams then None
+    else bracket (min max_streams (2 * n))
+  in
+  match bracket 1 with
+  | None -> Unachievable_within (float_of_int max_streams)
+  | Some hi ->
+      let rec refine lo hi =
+        (* Invariant: loss(hi) <= target < loss(lo). *)
+        if hi - lo <= 1 then Achieved (float_of_int hi)
+        else begin
+          let mid = (lo + hi) / 2 in
+          if loss_with mid <= target then refine lo mid else refine mid hi
+        end
+      in
+      if hi = 1 then Achieved 1.0 else refine (hi / 2) hi

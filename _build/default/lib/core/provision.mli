@@ -1,0 +1,55 @@
+(** Inverse dimensioning: find the system parameter that achieves a loss
+    target.
+
+    The paper's engineering message is that loss targets should be met by
+    shaping the marginal (multiplexing, source control) rather than by
+    buffering; these helpers make the trade-off quantitative by inverting
+    the solver along each axis.  All searches exploit the monotonicity of
+    the loss rate: decreasing in the buffer, increasing in the
+    utilization, decreasing in the number of superposed streams.
+
+    Loss targets below the solver's negligible-loss threshold (1e-10)
+    are not meaningful and are rejected. *)
+
+type outcome =
+  | Achieved of float  (** Parameter value meeting the target. *)
+  | Unachievable_within of float
+      (** The target is not met even at this search limit. *)
+
+val buffer_for_loss :
+  ?params:Solver.params ->
+  ?max_buffer_seconds:float ->
+  Model.t ->
+  utilization:float ->
+  target:float ->
+  outcome
+(** Smallest normalized buffer (seconds, within 5% bisection tolerance)
+    with loss at most [target]; searches up to [max_buffer_seconds]
+    (default 30).  Buffer ineffectiveness makes this the axis most
+    likely to return [Unachievable_within] for LRD input.
+    @raise Invalid_argument on a target outside [1e-10, 1) or a
+    utilization outside (0, 1). *)
+
+val utilization_for_loss :
+  ?params:Solver.params ->
+  ?min_utilization:float ->
+  Model.t ->
+  buffer_seconds:float ->
+  target:float ->
+  outcome
+(** Largest utilization (within 1% tolerance) with loss at most
+    [target]; searches down to [min_utilization] (default 0.05). *)
+
+val streams_for_loss :
+  ?params:Solver.params ->
+  ?max_streams:int ->
+  Model.t ->
+  utilization:float ->
+  buffer_seconds:float ->
+  target:float ->
+  outcome
+(** Smallest number of statistically multiplexed streams (per-stream
+    buffer and service rate held constant, marginal superposed and
+    renormalized as in the paper's Fig. 11) with loss at most [target];
+    searches up to [max_streams] (default 64).  Returns the count as a
+    float for uniformity. *)

@@ -1,0 +1,372 @@
+type params = {
+  initial_bins : int;
+  max_bins : int;
+  tolerance : float;
+  negligible_loss : float;
+  max_iterations : int;
+  check_every : int;
+  stall_factor : float;
+  warm_restart : bool;
+  convolution : [ `Auto | `Fft | `Direct ];
+}
+
+let default_params =
+  {
+    initial_bins = 128;
+    max_bins = 16384;
+    tolerance = 0.2;
+    negligible_loss = 1e-10;
+    max_iterations = 200_000;
+    check_every = 16;
+    stall_factor = 0.02;
+    warm_restart = true;
+    convolution = `Auto;
+  }
+
+type result = {
+  loss : float;
+  lower_bound : float;
+  upper_bound : float;
+  iterations : int;
+  bins : int;
+  refinements : int;
+  converged : bool;
+}
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "loss=%.4g in [%.4g, %.4g] (%s after %d iterations, %d bins, %d \
+     refinements)"
+    r.loss r.lower_bound r.upper_bound
+    (if r.converged then "converged" else "budget exhausted")
+    r.iterations r.bins r.refinements
+
+let log_src = Logs.Src.create "lrd.solver" ~doc:"fluid queue loss solver"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* One resolution level: the two chains, the discretized increment
+   kernels with their FFT plans, and the per-bin expected overflow. *)
+type level = {
+  m : int;
+  step : float;
+  lower_kernel : [ `Plan of Lrd_numerics.Convolution.plan | `Direct of float array ];
+  upper_kernel : [ `Plan of Lrd_numerics.Convolution.plan | `Direct of float array ];
+  overflow : float array;  (* E[W_l | Q = j d], j = 0 .. m. *)
+}
+
+let make_level ?(convolution = `Auto) workload ~buffer ~m =
+  let bins = Workload.discretize workload ~buffer ~bins:m in
+  let use_fft =
+    match convolution with
+    | `Fft -> true
+    | `Direct -> false
+    (* FFT pays off once the direct product m * (2m+1) is large. *)
+    | `Auto -> m >= 64
+  in
+  let kernel w =
+    if use_fft then
+      `Plan (Lrd_numerics.Convolution.make_plan ~kernel:w ~max_signal:(m + 1))
+    else `Direct w
+  in
+  let overflow =
+    Array.init (m + 1) (fun j ->
+        Workload.expected_overflow workload ~buffer
+          ~occupancy:(Float.min buffer (float_of_int j *. bins.Workload.step)))
+  in
+  {
+    m;
+    step = bins.Workload.step;
+    lower_kernel = kernel bins.Workload.lower;
+    upper_kernel = kernel bins.Workload.upper;
+    overflow;
+  }
+
+let convolve kernel q =
+  match kernel with
+  | `Plan plan -> Lrd_numerics.Convolution.convolve_plan plan q
+  | `Direct w -> Lrd_numerics.Convolution.direct q w
+
+(* One Lindley step on the grid: convolve the occupancy pmf with the
+   increment pmf, then fold spill-over into the boundary states
+   (eqs. 19-20).  Index s of the convolution corresponds to the value
+   (s - m) d. *)
+let step level kernel q =
+  let m = level.m in
+  let u = convolve kernel q in
+  let q' = Array.make (m + 1) 0.0 in
+  q'.(0) <- Lrd_numerics.Summation.kahan_slice u ~pos:0 ~len:(m + 1);
+  for j = 1 to m - 1 do
+    q'.(j) <- Float.max 0.0 u.(m + j)
+  done;
+  q'.(m) <-
+    Lrd_numerics.Summation.kahan_slice u ~pos:(2 * m)
+      ~len:(Array.length u - (2 * m));
+  (* FFT rounding can leave tiny negatives / drift; clamp and rescale so
+     the pmf stays a probability vector. *)
+  if q'.(0) < 0.0 then q'.(0) <- 0.0;
+  if q'.(m) < 0.0 then q'.(m) <- 0.0;
+  let total = Lrd_numerics.Summation.kahan q' in
+  if total > 0.0 && Float.abs (total -. 1.0) > 1e-15 then
+    for j = 0 to m do
+      q'.(j) <- q'.(j) /. total
+    done;
+  q'
+
+let loss_of level ~norm q =
+  let acc = Lrd_numerics.Summation.create () in
+  Array.iteri
+    (fun j p ->
+      if p > 0.0 then Lrd_numerics.Summation.add acc (p *. level.overflow.(j)))
+    q;
+  Lrd_numerics.Summation.total acc /. norm
+
+(* Doubling the grid: old point j d sits exactly at new point 2j (d/2),
+   so re-quantization is an exact re-indexing and both chains keep their
+   bound property (Proposition II.1 (v) plus footnote 3). *)
+let refine_pmf q =
+  let m = Array.length q - 1 in
+  let q' = Array.make ((2 * m) + 1) 0.0 in
+  Array.iteri (fun j p -> q'.(2 * j) <- p) q;
+  q'
+
+let initial_pmfs m =
+  let lower = Array.make (m + 1) 0.0 and upper = Array.make (m + 1) 0.0 in
+  lower.(0) <- 1.0;
+  upper.(m) <- 1.0;
+  (lower, upper)
+
+type occupancy = {
+  step : float;
+  lower_pmf : float array;
+  upper_pmf : float array;
+}
+
+let point_mass_occupancy =
+  { step = 0.0; lower_pmf = [| 1.0 |]; upper_pmf = [| 1.0 |] }
+
+let pmf_mean ~step pmf =
+  let acc = Lrd_numerics.Summation.create () in
+  Array.iteri
+    (fun j p -> Lrd_numerics.Summation.add acc (p *. float_of_int j *. step))
+    pmf;
+  Lrd_numerics.Summation.total acc
+
+let mean_occupancy occ =
+  (pmf_mean ~step:occ.step occ.lower_pmf, pmf_mean ~step:occ.step occ.upper_pmf)
+
+let pmf_ccdf ~step pmf ~threshold =
+  let acc = Lrd_numerics.Summation.create () in
+  Array.iteri
+    (fun j p ->
+      if float_of_int j *. step >= threshold then
+        Lrd_numerics.Summation.add acc p)
+    pmf;
+  Float.min 1.0 (Lrd_numerics.Summation.total acc)
+
+let occupancy_ccdf occ ~threshold =
+  ( pmf_ccdf ~step:occ.step occ.lower_pmf ~threshold,
+    pmf_ccdf ~step:occ.step occ.upper_pmf ~threshold )
+
+let pmf_quantile ~step pmf ~p =
+  let n = Array.length pmf in
+  let rec go j cumulative =
+    if j >= n - 1 then float_of_int (n - 1) *. step
+    else begin
+      let cumulative = cumulative +. pmf.(j) in
+      if cumulative >= p -. 1e-15 then float_of_int j *. step
+      else go (j + 1) cumulative
+    end
+  in
+  go 0 0.0
+
+let occupancy_quantile occ ~p =
+  if not (p > 0.0 && p <= 1.0) then
+    invalid_arg "Solver.occupancy_quantile: p must lie in (0, 1]";
+  ( pmf_quantile ~step:occ.step occ.lower_pmf ~p,
+    pmf_quantile ~step:occ.step occ.upper_pmf ~p )
+
+let mean_virtual_delay occ ~service_rate =
+  if not (service_rate > 0.0) then
+    invalid_arg "Solver.mean_virtual_delay: service rate must be positive";
+  let lo, hi = mean_occupancy occ in
+  (lo /. service_rate, hi /. service_rate)
+
+let solve_detailed ?(params = default_params) model ~service_rate ~buffer =
+  if not (service_rate > 0.0) then
+    invalid_arg "Solver.solve: service rate must be positive";
+  if not (buffer >= 0.0) then
+    invalid_arg "Solver.solve: buffer must be nonnegative";
+  let workload = Workload.create model ~service_rate in
+  let norm =
+    Model.mean_rate model *. model.Model.interarrival.Lrd_dist.Interarrival.mean
+  in
+  if buffer = 0.0 then begin
+    let loss = Workload.zero_buffer_loss workload in
+    ( {
+        loss;
+        lower_bound = loss;
+        upper_bound = loss;
+        iterations = 0;
+        bins = 0;
+        refinements = 0;
+        converged = true;
+      },
+      point_mass_occupancy )
+  end
+  else if Workload.max_increment workload <= 0.0 then
+    (* No rate ever exceeds the service rate: the queue never grows. *)
+    ( {
+        loss = 0.0;
+        lower_bound = 0.0;
+        upper_bound = 0.0;
+        iterations = 0;
+        bins = params.initial_bins;
+        refinements = 0;
+        converged = true;
+      },
+      point_mass_occupancy )
+  else begin
+    let level =
+      ref
+        (make_level ~convolution:params.convolution workload ~buffer
+           ~m:params.initial_bins)
+    in
+    let lower, upper = initial_pmfs params.initial_bins in
+    let lower = ref lower and upper = ref upper in
+    let iterations = ref 0 and refinements = ref 0 in
+    let prev_lower = ref Float.nan and prev_upper = ref Float.nan in
+    let finish ~converged ~lo ~hi =
+      ( {
+          loss =
+            (if hi < params.negligible_loss then 0.0 else (lo +. hi) /. 2.0);
+          lower_bound = lo;
+          upper_bound = hi;
+          iterations = !iterations;
+          bins = !level.m;
+          refinements = !refinements;
+          converged;
+        },
+        {
+          step = !level.step;
+          lower_pmf = Array.copy !lower;
+          upper_pmf = Array.copy !upper;
+        } )
+    in
+    let rec loop () =
+      (* Advance both chains by one check period. *)
+      let budget = params.max_iterations - !iterations in
+      let steps = min params.check_every budget in
+      for _ = 1 to steps do
+        lower := step !level !level.lower_kernel !lower;
+        upper := step !level !level.upper_kernel !upper;
+        incr iterations
+      done;
+      let lo = loss_of !level ~norm !lower
+      and hi = loss_of !level ~norm !upper in
+      let gap = hi -. lo in
+      let mid = (hi +. lo) /. 2.0 in
+      Log.debug (fun f ->
+          f "n=%d m=%d lower=%.4g upper=%.4g" !iterations !level.m lo hi);
+      if hi < params.negligible_loss then finish ~converged:true ~lo ~hi
+      else if gap <= params.tolerance *. mid then
+        finish ~converged:true ~lo ~hi
+      else if !iterations >= params.max_iterations then
+        finish ~converged:false ~lo ~hi
+      else begin
+        (* Refine only when BOTH chains have individually plateaued:
+           while a chain is still mixing toward its stationary value
+           (e.g. the ceiling chain draining a deep buffer), iterating at
+           the current resolution is cheap and refinement buys nothing. *)
+        let plateaued previous current =
+          Float.is_finite previous
+          && Float.abs (previous -. current)
+             <= params.stall_factor *. Float.max previous 1e-300
+        in
+        let stalled =
+          plateaued !prev_lower lo && plateaued !prev_upper hi
+        in
+        prev_lower := lo;
+        prev_upper := hi;
+        if stalled then begin
+          if !level.m * 2 <= params.max_bins then begin
+            Log.debug (fun f -> f "refining grid to m=%d" (!level.m * 2));
+            level :=
+              make_level ~convolution:params.convolution workload ~buffer
+                ~m:(!level.m * 2);
+            if params.warm_restart then begin
+              lower := refine_pmf !lower;
+              upper := refine_pmf !upper
+            end
+            else begin
+              let fresh_lower, fresh_upper = initial_pmfs !level.m in
+              lower := fresh_lower;
+              upper := fresh_upper
+            end;
+            incr refinements;
+            prev_lower := Float.nan;
+            prev_upper := Float.nan;
+            loop ()
+          end
+          else
+            (* Both chains have plateaued at the finest allowed grid:
+               further iteration cannot close the gap.  Return the
+               certified (if loose) bounds rather than burning the
+               whole iteration budget at the most expensive level. *)
+            finish ~converged:false ~lo ~hi
+        end
+        else loop ()
+      end
+    in
+    loop ()
+  end
+
+let solve ?params model ~service_rate ~buffer =
+  fst (solve_detailed ?params model ~service_rate ~buffer)
+
+let solve_utilization ?params model ~utilization ~buffer_seconds =
+  let c = Model.service_rate_for_utilization model ~utilization in
+  solve ?params model ~service_rate:c ~buffer:(buffer_seconds *. c)
+
+type snapshot = {
+  iteration : int;
+  lower_pmf : float array;
+  upper_pmf : float array;
+  lower_loss : float;
+  upper_loss : float;
+}
+
+let iterate_snapshots model ~service_rate ~buffer ~bins ~at =
+  if not (buffer > 0.0) then
+    invalid_arg "Solver.iterate_snapshots: buffer must be positive";
+  let sorted = List.sort_uniq compare at in
+  if sorted <> at then
+    invalid_arg "Solver.iterate_snapshots: iteration list must be ascending";
+  List.iter
+    (fun n ->
+      if n < 0 then
+        invalid_arg "Solver.iterate_snapshots: negative iteration count")
+    at;
+  let workload = Workload.create model ~service_rate in
+  let norm =
+    Model.mean_rate model *. model.Model.interarrival.Lrd_dist.Interarrival.mean
+  in
+  let level = make_level workload ~buffer ~m:bins in
+  let lower, upper = initial_pmfs bins in
+  let lower = ref lower and upper = ref upper in
+  let current = ref 0 in
+  List.map
+    (fun n ->
+      while !current < n do
+        lower := step level level.lower_kernel !lower;
+        upper := step level level.upper_kernel !upper;
+        incr current
+      done;
+      {
+        iteration = n;
+        lower_pmf = Array.copy !lower;
+        upper_pmf = Array.copy !upper;
+        lower_loss = loss_of level ~norm !lower;
+        upper_loss = loss_of level ~norm !upper;
+      })
+    sorted

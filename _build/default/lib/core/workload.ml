@@ -1,0 +1,148 @@
+type t = {
+  service_rate : float;
+  rates : float array;
+  probs : float array;
+  law : Lrd_dist.Interarrival.t;
+  mean_rate : float;
+}
+
+let create model ~service_rate =
+  if not (service_rate > 0.0) then
+    invalid_arg "Workload.create: service rate must be positive";
+  {
+    service_rate;
+    rates = Lrd_dist.Marginal.rates model.Model.marginal;
+    probs = Lrd_dist.Marginal.probs model.Model.marginal;
+    law = model.Model.interarrival;
+    mean_rate = Model.mean_rate model;
+  }
+
+let mean t =
+  t.law.Lrd_dist.Interarrival.mean *. (t.mean_rate -. t.service_rate)
+
+(* Pr{W >= x} and Pr{W > x} by conditioning on the rate.  For a rate
+   above the service rate the increment is positive and increasing in T;
+   below, it is negative and decreasing in T, so the strict/weak
+   survival functions of T swap roles; a rate exactly equal to c pins
+   the increment at zero. *)
+let survival ~weak t x =
+  let acc = Lrd_numerics.Summation.create () in
+  let s_gt = t.law.Lrd_dist.Interarrival.survival_gt
+  and s_ge = t.law.Lrd_dist.Interarrival.survival_ge in
+  Array.iteri
+    (fun i p ->
+      let delta = t.rates.(i) -. t.service_rate in
+      let term =
+        if delta > 0.0 then
+          if weak then s_ge (x /. delta) else s_gt (x /. delta)
+        else if delta < 0.0 then
+          (* W = T delta <= 0: Pr{W >= x} = Pr{T <= x / delta}. *)
+          if weak then 1.0 -. s_gt (x /. delta)
+          else 1.0 -. s_ge (x /. delta)
+        else if weak then (if x <= 0.0 then 1.0 else 0.0)
+        else if x < 0.0 then 1.0
+        else 0.0
+      in
+      Lrd_numerics.Summation.add acc (p *. term))
+    t.probs;
+  Float.max 0.0 (Float.min 1.0 (Lrd_numerics.Summation.total acc))
+
+let survival_ge t x = survival ~weak:true t x
+let survival_gt t x = survival ~weak:false t x
+
+let max_increment t =
+  let max_delta =
+    Array.fold_left
+      (fun acc r -> Float.max acc (r -. t.service_rate))
+      neg_infinity t.rates
+  in
+  if max_delta <= 0.0 then 0.0
+  else
+    match t.law.Lrd_dist.Interarrival.max_support with
+    | None -> Float.infinity
+    | Some sup -> sup *. max_delta
+
+let expected_overflow t ~buffer ~occupancy =
+  if not (buffer >= 0.0) then
+    invalid_arg "Workload.expected_overflow: negative buffer";
+  if not (occupancy >= 0.0 && occupancy <= buffer +. 1e-9) then
+    invalid_arg "Workload.expected_overflow: occupancy outside [0, buffer]";
+  let headroom = Float.max 0.0 (buffer -. occupancy) in
+  (* E[(T delta - headroom)^+] = delta int_{headroom/delta}^inf Pr{T>t} dt. *)
+  let acc = Lrd_numerics.Summation.create () in
+  Array.iteri
+    (fun i p ->
+      let delta = t.rates.(i) -. t.service_rate in
+      if delta > 0.0 then
+        Lrd_numerics.Summation.add acc
+          (p *. delta
+          *. t.law.Lrd_dist.Interarrival.survival_integral (headroom /. delta)))
+    t.probs;
+  Lrd_numerics.Summation.total acc
+
+let loss_rate_of_occupancy t ~buffer ~occupancy_probs =
+  let n = Array.length occupancy_probs in
+  if n < 1 then invalid_arg "Workload.loss_rate_of_occupancy: empty pmf";
+  let step = if n = 1 then 0.0 else buffer /. float_of_int (n - 1) in
+  let acc = Lrd_numerics.Summation.create () in
+  Array.iteri
+    (fun i q ->
+      if q > 0.0 then
+        Lrd_numerics.Summation.add acc
+          (q
+          *. expected_overflow t ~buffer ~occupancy:(float_of_int i *. step)))
+    occupancy_probs;
+  Lrd_numerics.Summation.total acc
+  /. (t.mean_rate *. t.law.Lrd_dist.Interarrival.mean)
+
+let zero_buffer_loss t =
+  let acc = Lrd_numerics.Summation.create () in
+  Array.iteri
+    (fun i p ->
+      let delta = t.rates.(i) -. t.service_rate in
+      if delta > 0.0 then Lrd_numerics.Summation.add acc (p *. delta))
+    t.probs;
+  Lrd_numerics.Summation.total acc /. t.mean_rate
+
+type bins = {
+  lower : float array;
+  upper : float array;
+  half_width : int;
+  step : float;
+}
+
+let discretize t ~buffer ~bins =
+  if not (buffer > 0.0) then
+    invalid_arg "Workload.discretize: buffer must be positive";
+  if bins <= 0 then invalid_arg "Workload.discretize: bins must be positive";
+  let m = bins in
+  let d = buffer /. float_of_int m in
+  let lower = Array.make ((2 * m) + 1) 0.0 in
+  let upper = Array.make ((2 * m) + 1) 0.0 in
+  (* Precompute the survival functions on the grid once; each bin mass is
+     a difference of adjacent values (eqs. 21-22). *)
+  let ge = Array.init ((2 * m) + 1) (fun k ->
+      survival_ge t (float_of_int (k - m) *. d))
+  and gt = Array.init ((2 * m) + 1) (fun k ->
+      survival_gt t (float_of_int (k - m) *. d))
+  in
+  for k = 0 to 2 * m do
+    let i = k - m in
+    (* Floor chain, eq. 21. *)
+    lower.(k) <-
+      (if i = -m then 1.0 -. ge.(k + 1)
+       else if i = m then ge.(k)
+       else ge.(k) -. ge.(k + 1));
+    (* Ceiling chain, eq. 22. *)
+    upper.(k) <-
+      (if i = -m then 1.0 -. gt.(k)
+       else if i = m then gt.(k - 1)
+       else gt.(k - 1) -. gt.(k))
+  done;
+  (* Guard against rounding producing tiny negatives. *)
+  let clamp a =
+    Array.iteri (fun k v -> if v < 0.0 then a.(k) <- 0.0) a
+  in
+  clamp lower;
+  clamp upper;
+  { lower; upper; half_width = m; step = d }

@@ -1,0 +1,64 @@
+(** The per-epoch work increment [W = T (lambda - c)] and its exact
+    discretizations (paper eqs. 10, 21, 22).
+
+    [W] is the difference between arriving and departing work over one
+    interarrival interval.  The solver's floor chain needs the bin masses
+    [Pr{W in [i d, (i+1) d)}] (eq. 21) and the ceiling chain
+    [Pr{W in ((i-1) d, i d]}] (eq. 22); since [W] mixes atoms (from the
+    truncated interarrival law) with continuous parts, both the strict and
+    weak survival functions of [W] are computed from the interarrival
+    law's, so every atom lands on the provably-safe side of each bin
+    boundary and the bound property of Proposition II.1 carries over to
+    floating point. *)
+
+type t
+(** The increment distribution for a given model, service rate and buffer
+    discretization. *)
+
+val create : Model.t -> service_rate:float -> t
+(** @raise Invalid_argument unless the service rate is positive. *)
+
+val mean : t -> float
+(** E[W] = E[T] (mean_rate - c). *)
+
+val survival_ge : t -> float -> float
+(** [Pr{W >= x}]. *)
+
+val survival_gt : t -> float -> float
+(** [Pr{W > x}]. *)
+
+val max_increment : t -> float
+(** Supremum of [W]'s support ([T_c * (lambda_max - c)] for a truncated
+    law); [infinity] for an unbounded law with rates above [c]; [<= 0]
+    when no rate exceeds the service rate (a queue that never grows). *)
+
+val expected_overflow : t -> buffer:float -> occupancy:float -> float
+(** [E[W_l | Q = x]] with [W_l = (W - (B - Q))^+]: the expected work lost
+    in one interval starting from occupancy [x] (the closed-form display
+    after eq. 14, generalized to any interarrival law through its
+    integrated survival function).
+    @raise Invalid_argument unless [0 <= occupancy <= buffer]. *)
+
+val loss_rate_of_occupancy :
+  t -> buffer:float -> occupancy_probs:float array -> float
+(** Eq. 23: [sum_i q(i) E[W_l | Q = i d] / (mean_rate E[T])] for an
+    occupancy pmf on the uniform grid [i d = i buffer / (n - 1)],
+    [i = 0 .. n-1]. *)
+
+val zero_buffer_loss : t -> float
+(** Closed form for [B = 0]: [E[(lambda - c)^+] / mean_rate] — a test
+    oracle independent of the iteration. *)
+
+type bins = {
+  lower : float array;  (** [w_L(i)], index [i + m] for [i = -m .. m]. *)
+  upper : float array;  (** [w_H(i)], same indexing. *)
+  half_width : int;  (** [m]: arrays have length [2 m + 1]. *)
+  step : float;  (** [d = buffer / m]. *)
+}
+
+val discretize : t -> buffer:float -> bins:int -> bins
+(** Exact bin masses per eqs. 21-22 for [m = bins]; mass below [-B] and
+    above [B] is folded into the edge bins, which is lossless for the
+    queue recursion because increments beyond [+-B] saturate the buffer
+    regardless.  @raise Invalid_argument unless buffer and bins are
+    positive. *)

@@ -1,0 +1,1 @@
+lib/dist/continuous.ml: Float Lrd_numerics Lrd_rng Printf Roots Special

@@ -1,0 +1,1 @@
+lib/dist/continuous.mli: Lrd_rng

@@ -1,0 +1,1 @@
+lib/dist/interarrival.ml: Array Float Fun Lrd_numerics Lrd_rng Printf

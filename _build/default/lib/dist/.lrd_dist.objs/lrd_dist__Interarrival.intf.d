@@ -1,0 +1,1 @@
+lib/dist/interarrival.mli: Lrd_rng

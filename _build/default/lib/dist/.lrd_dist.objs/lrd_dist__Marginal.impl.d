@@ -1,0 +1,1 @@
+lib/dist/marginal.ml: Array Float Format List Lrd_numerics Lrd_rng

@@ -1,0 +1,1 @@
+lib/dist/marginal.mli: Format Lrd_rng

@@ -1,0 +1,1 @@
+lib/experiments/abl_interarrival.ml: Array Data Float Format List Lrd_core Lrd_dist Sweep Table

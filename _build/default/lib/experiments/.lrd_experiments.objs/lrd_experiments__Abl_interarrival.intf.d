@@ -1,0 +1,1 @@
+lib/experiments/abl_interarrival.mli: Data Format

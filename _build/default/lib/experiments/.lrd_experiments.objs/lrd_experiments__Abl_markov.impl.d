@@ -1,0 +1,1 @@
+lib/experiments/abl_markov.ml: Array Data Float Format Int64 Lrd_baselines Lrd_fluidsim Lrd_rng Lrd_stats Lrd_trace Sweep Table

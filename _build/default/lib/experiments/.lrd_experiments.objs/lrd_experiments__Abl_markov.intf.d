@@ -1,0 +1,1 @@
+lib/experiments/abl_markov.mli: Data Format

@@ -1,0 +1,1 @@
+lib/experiments/abl_shuffle.ml: Array Data Format Int64 Lrd_fluidsim Lrd_rng Lrd_trace Table

@@ -1,0 +1,1 @@
+lib/experiments/abl_shuffle.mli: Data Format

@@ -1,0 +1,1 @@
+lib/experiments/abl_solver.ml: Data Format List Lrd_core Sys Table

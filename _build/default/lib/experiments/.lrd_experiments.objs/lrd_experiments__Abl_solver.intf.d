@@ -1,0 +1,1 @@
+lib/experiments/abl_solver.mli: Data Format

@@ -1,0 +1,1 @@
+lib/experiments/data.ml: Lazy Lrd_core Lrd_dist Lrd_rng Lrd_trace

@@ -1,0 +1,1 @@
+lib/experiments/data.mli: Lrd_core Lrd_dist Lrd_trace

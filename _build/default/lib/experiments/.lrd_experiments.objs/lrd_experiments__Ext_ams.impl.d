@@ -1,0 +1,1 @@
+lib/experiments/ext_ams.ml: Array Data Format Int64 Lrd_baselines Lrd_core Lrd_dist Lrd_fluidsim Lrd_rng Table

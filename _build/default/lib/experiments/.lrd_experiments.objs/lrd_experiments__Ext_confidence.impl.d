@@ -1,0 +1,1 @@
+lib/experiments/ext_confidence.ml: Array Data Format Int64 List Lrd_fluidsim Lrd_rng Lrd_stats Lrd_trace Printf Table

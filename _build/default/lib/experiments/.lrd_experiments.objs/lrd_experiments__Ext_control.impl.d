@@ -1,0 +1,1 @@
+lib/experiments/ext_control.ml: Data Format Lrd_control Lrd_fluidsim Lrd_trace Printf Table

@@ -1,0 +1,1 @@
+lib/experiments/ext_control.mli: Data Format

@@ -1,0 +1,1 @@
+lib/experiments/ext_delay_horizon.ml: Array Data Float Format List Lrd_core Printf Sweep Table

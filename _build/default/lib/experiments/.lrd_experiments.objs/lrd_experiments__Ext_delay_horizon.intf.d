@@ -1,0 +1,1 @@
+lib/experiments/ext_delay_horizon.mli: Data Format

@@ -1,0 +1,1 @@
+lib/experiments/ext_estimators.ml: Array Data Float Format Int64 List Lrd_rng Lrd_stats Lrd_trace Printf Table

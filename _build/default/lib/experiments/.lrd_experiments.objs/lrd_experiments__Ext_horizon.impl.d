@@ -1,0 +1,1 @@
+lib/experiments/ext_horizon.ml: Array Data Fig07 Float Format List Lrd_core Lrd_stats Lrd_trace Printf Table

@@ -1,0 +1,1 @@
+lib/experiments/ext_horizon.mli: Data Format

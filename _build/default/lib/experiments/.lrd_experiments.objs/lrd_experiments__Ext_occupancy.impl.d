@@ -1,0 +1,1 @@
+lib/experiments/ext_occupancy.ml: Array Data Format Int64 List Lrd_core Lrd_dist Lrd_fluidsim Lrd_rng Lrd_stats Table

@@ -1,0 +1,1 @@
+lib/experiments/ext_packet.ml: Data Format Int64 List Lrd_fluidsim Lrd_packet Lrd_rng Lrd_trace Printf Table

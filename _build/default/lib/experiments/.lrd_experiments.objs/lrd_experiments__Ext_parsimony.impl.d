@@ -1,0 +1,1 @@
+lib/experiments/ext_parsimony.ml: Data Format List Lrd_core Lrd_dist Table

@@ -1,0 +1,1 @@
+lib/experiments/ext_priority.ml: Array Data Format List Lrd_fluidsim Lrd_trace Table

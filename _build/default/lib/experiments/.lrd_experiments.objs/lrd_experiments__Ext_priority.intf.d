@@ -1,0 +1,1 @@
+lib/experiments/ext_priority.mli: Data Format

@@ -1,0 +1,1 @@
+lib/experiments/ext_provision.ml: Data Float Format Lrd_core Printf Table

@@ -1,0 +1,1 @@
+lib/experiments/ext_provision.mli: Data Format

@@ -1,0 +1,1 @@
+lib/experiments/ext_stationarity.ml: Array Data Format Int64 List Lrd_rng Lrd_stats Lrd_trace Table

@@ -1,0 +1,1 @@
+lib/experiments/ext_tails.ml: Array Data Float Format Int64 Lrd_core Lrd_dist Lrd_fluidsim Lrd_rng Lrd_trace Option Printf Table

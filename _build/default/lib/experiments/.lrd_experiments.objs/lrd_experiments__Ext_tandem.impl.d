@@ -1,0 +1,1 @@
+lib/experiments/ext_tandem.ml: Data Float Format Int64 List Lrd_fluidsim Lrd_rng Lrd_trace Printf Table

@@ -1,0 +1,1 @@
+lib/experiments/ext_tandem.mli: Data Format

@@ -1,0 +1,1 @@
+lib/experiments/fig02.ml: Data Float Format List Lrd_core Lrd_numerics Printf Table

@@ -1,0 +1,1 @@
+lib/experiments/fig02.mli: Data Format

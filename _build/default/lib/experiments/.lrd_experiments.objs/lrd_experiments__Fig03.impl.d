@@ -1,0 +1,1 @@
+lib/experiments/fig03.ml: Array Data Format Lrd_dist Lrd_stats Lrd_trace Table Trace

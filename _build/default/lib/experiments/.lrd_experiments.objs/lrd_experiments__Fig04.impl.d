@@ -1,0 +1,1 @@
+lib/experiments/fig04.ml: Data Lrd_core Sweep Table

@@ -1,0 +1,1 @@
+lib/experiments/fig04.mli: Data Format Lrd_core Table

@@ -1,0 +1,1 @@
+lib/experiments/fig05.ml: Data Fig04 Table

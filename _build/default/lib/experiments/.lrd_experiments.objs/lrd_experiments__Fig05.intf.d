@@ -1,0 +1,1 @@
+lib/experiments/fig05.mli: Data Format Table

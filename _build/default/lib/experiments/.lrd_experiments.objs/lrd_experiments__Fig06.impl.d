@@ -1,0 +1,1 @@
+lib/experiments/fig06.ml: Array Data Format Int64 List Lrd_rng Lrd_stats Lrd_trace Table

@@ -1,0 +1,1 @@
+lib/experiments/fig07.ml: Array Data Int64 Lrd_fluidsim Lrd_rng Lrd_trace Sweep Table

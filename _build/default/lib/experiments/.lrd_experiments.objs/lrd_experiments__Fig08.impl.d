@@ -1,0 +1,1 @@
+lib/experiments/fig08.ml: Data Fig07 Table

@@ -1,0 +1,1 @@
+lib/experiments/fig09.ml: Array Data Lrd_core Sweep Table

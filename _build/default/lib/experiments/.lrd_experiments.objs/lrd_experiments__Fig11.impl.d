@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Array Data Fig10 Hashtbl Lrd_dist Sweep Table

@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Data Float Lrd_core Lrd_dist Sweep Table

@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Data Fig12 Table

@@ -1,0 +1,1 @@
+lib/experiments/fig14.ml: Array Data Fig07 Float Format List Lrd_core Lrd_stats Lrd_trace Table

@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Array Float Lrd_fluidsim Lrd_numerics Lrd_trace

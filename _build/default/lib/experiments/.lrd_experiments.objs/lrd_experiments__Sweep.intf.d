@@ -1,0 +1,1 @@
+lib/experiments/sweep.mli: Lrd_rng Lrd_trace

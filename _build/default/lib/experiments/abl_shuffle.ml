@@ -1,0 +1,48 @@
+(* Ablation: internal vs external shuffling (Erramilli et al.'s dual
+   experiments).  External shuffling removes correlation beyond the
+   block; internal shuffling removes it inside the block while keeping
+   the long-range structure.  Comparing both against the unshuffled
+   trace separates the loss contribution of short-lag and long-lag
+   correlation at a fixed buffer. *)
+
+let id = "abl-shuffle"
+
+let title =
+  "Ablation: internal vs external shuffling (MTV trace, utilization 0.8, \
+   B = 0.5 s)"
+
+let run ctx fmt =
+  let trace = Data.mtv ctx in
+  let utilization = Data.mtv_utilization in
+  let buffer_seconds = 0.5 in
+  let rng = Lrd_rng.Rng.create ~seed:(Int64.add (Data.seed ctx) 99L) in
+  let c = Lrd_trace.Trace.service_rate_for_utilization trace ~utilization in
+  let loss t =
+    let sim =
+      Lrd_fluidsim.Queue_sim.make ~service_rate:c
+        ~buffer:(buffer_seconds *. c) ()
+    in
+    Lrd_fluidsim.Queue_sim.loss_rate (Lrd_fluidsim.Queue_sim.run_trace sim t)
+  in
+  let blocks =
+    if Data.quick ctx then [| 8; 64; 512 |] else [| 4; 16; 64; 256; 1024; 4096 |]
+  in
+  let external_losses =
+    Array.map
+      (fun b ->
+        loss (Lrd_trace.Shuffle.external_shuffle rng trace ~block:b))
+      blocks
+  and internal_losses =
+    Array.map
+      (fun b ->
+        loss (Lrd_trace.Shuffle.internal_shuffle rng trace ~block:b))
+      blocks
+  in
+  Table.print_multi_series fmt ~title ~xlabel:"block" ~ylabel:"loss rate"
+    ~xs:(Array.map float_of_int blocks)
+    [ ("external", external_losses); ("internal", internal_losses) ];
+  Format.fprintf fmt "unshuffled loss: %s@."
+    (Table.cell_value (loss trace));
+  Format.fprintf fmt
+    "(external shuffling approaches the fully-uncorrelated loss as the \
+     block shrinks; internal shuffling approaches it as the block grows)@."

@@ -1,0 +1,81 @@
+type t = {
+  quick : bool;
+  seed : int64;
+  mtv : Lrd_trace.Trace.t Lazy.t;
+  bellcore : Lrd_trace.Trace.t Lazy.t;
+  mtv_marginal : Lrd_dist.Marginal.t Lazy.t;
+  bc_marginal : Lrd_dist.Marginal.t Lazy.t;
+  mtv_mean_epoch : float Lazy.t;
+  bc_mean_epoch : float Lazy.t;
+}
+
+let mtv_hurst = 0.83
+let bc_hurst = 0.9
+let mtv_utilization = 0.8
+let bc_utilization = 0.4
+
+let create ?(seed = 20260705L) ~quick () =
+  let rng = Lrd_rng.Rng.create ~seed in
+  let mtv_rng = Lrd_rng.Rng.split rng in
+  let bc_rng = Lrd_rng.Rng.split rng in
+  let mtv =
+    lazy
+      (if quick then Lrd_trace.Video.generate_short mtv_rng ~n:16_384
+       else Lrd_trace.Video.generate mtv_rng)
+  in
+  let bellcore =
+    lazy
+      (if quick then Lrd_trace.Ethernet.generate_short bc_rng ~n:32_768
+       else Lrd_trace.Ethernet.generate bc_rng)
+  in
+  let marginal trace =
+    lazy (Lrd_trace.Histogram.marginal_of_trace ~bins:50 (Lazy.force trace))
+  in
+  let epoch trace =
+    lazy (Lrd_trace.Epochs.mean_epoch_duration ~bins:50 (Lazy.force trace))
+  in
+  {
+    quick;
+    seed;
+    mtv;
+    bellcore;
+    mtv_marginal = marginal mtv;
+    bc_marginal = marginal bellcore;
+    mtv_mean_epoch = epoch mtv;
+    bc_mean_epoch = epoch bellcore;
+  }
+
+let quick t = t.quick
+let seed t = t.seed
+let mtv t = Lazy.force t.mtv
+let bellcore t = Lazy.force t.bellcore
+let mtv_marginal t = Lazy.force t.mtv_marginal
+let bc_marginal t = Lazy.force t.bc_marginal
+let mtv_mean_epoch t = Lazy.force t.mtv_mean_epoch
+let bc_mean_epoch t = Lazy.force t.bc_mean_epoch
+
+let theta_for ~mean_epoch ~hurst =
+  Lrd_dist.Interarrival.theta_for_mean_epoch ~mean_epoch
+    ~alpha:(Lrd_core.Model.alpha_of_hurst hurst)
+    ()
+
+let mtv_theta t = theta_for ~mean_epoch:(mtv_mean_epoch t) ~hurst:mtv_hurst
+let bc_theta t = theta_for ~mean_epoch:(bc_mean_epoch t) ~hurst:bc_hurst
+
+let mtv_model t ~cutoff =
+  Lrd_core.Model.of_hurst ~marginal:(mtv_marginal t) ~hurst:mtv_hurst
+    ~theta:(mtv_theta t) ~cutoff
+
+let bc_model t ~cutoff =
+  Lrd_core.Model.of_hurst ~marginal:(bc_marginal t) ~hurst:bc_hurst
+    ~theta:(bc_theta t) ~cutoff
+
+let solver_params t =
+  let d = Lrd_core.Solver.default_params in
+  if t.quick then
+    {
+      d with
+      Lrd_core.Solver.max_bins = 4096;
+      max_iterations = 40_000;
+    }
+  else d

@@ -1,0 +1,62 @@
+(** Shared experimental ingredients: the two synthetic traces, their
+    extracted marginals, epoch statistics and fitted models.
+
+    Everything is generated deterministically from a seed and computed
+    lazily, so the figures can share one context without recomputation.
+    [quick] mode shrinks the traces (and downstream grids) for tests and
+    smoke runs; the full mode matches the paper's trace sizes. *)
+
+type t
+
+val create : ?seed:int64 -> quick:bool -> unit -> t
+(** Default seed 20260705. *)
+
+val quick : t -> bool
+val seed : t -> int64
+
+val mtv : t -> Lrd_trace.Trace.t
+(** Synthetic MTV-like video trace (full: 107 892 frames at 1/30 s). *)
+
+val bellcore : t -> Lrd_trace.Trace.t
+(** Synthetic Bellcore-like Ethernet trace (full: 360 000 slots of 10 ms). *)
+
+val mtv_marginal : t -> Lrd_dist.Marginal.t
+(** 50-bin histogram marginal of the video trace (paper Fig. 3, left). *)
+
+val bc_marginal : t -> Lrd_dist.Marginal.t
+(** 50-bin histogram marginal of the Ethernet trace (Fig. 3, right). *)
+
+val mtv_mean_epoch : t -> float
+(** Measured mean rate-residence time of the video trace (paper: ~80 ms). *)
+
+val bc_mean_epoch : t -> float
+(** Same for the Ethernet trace (paper: ~15 ms). *)
+
+val mtv_hurst : float
+(** Nominal Hurst parameter of the video trace (paper: 0.83). *)
+
+val bc_hurst : float
+(** Nominal Hurst parameter of the Ethernet trace (paper: 0.9). *)
+
+val mtv_utilization : float
+(** Utilization the paper uses for MTV experiments (0.8). *)
+
+val bc_utilization : float
+(** Utilization for Bellcore experiments (0.4). *)
+
+val mtv_theta : t -> float
+(** Pareto scale matched to the measured MTV mean epoch at infinite
+    cutoff (paper eq. 25 procedure). *)
+
+val bc_theta : t -> float
+
+val mtv_model : t -> cutoff:float -> Lrd_core.Model.t
+(** The paper's fitted model for the video trace at the given cutoff
+    lag: 50-bin marginal, alpha from the nominal H, theta from the
+    measured epoch. *)
+
+val bc_model : t -> cutoff:float -> Lrd_core.Model.t
+
+val solver_params : t -> Lrd_core.Solver.params
+(** Solver parameters used across experiments ([quick] lowers the
+    refinement cap and iteration budget). *)

@@ -1,0 +1,62 @@
+(* Extension: horizon-aware fitting in action.  For each design buffer,
+   Fitting.for_buffer fits a model whose cutoff lag is exactly that
+   queue's correlation horizon (eq. 26).  The table compares its loss
+   prediction against the full self-similar fit (cutoff = inf) and a
+   deliberately too-short model (cutoff = horizon / 300): the
+   horizon-fitted model must track the full model at its design buffer,
+   the short model must underestimate - the paper's "any model up to
+   CH" claim, and its failure mode, in one table. *)
+
+let id = "ext-parsimony"
+
+let title =
+  "Extension: horizon-aware fitting - parsimonious models that still \
+   predict"
+
+let run ctx fmt =
+  let trace = Data.mtv ctx in
+  let utilization = Data.mtv_utilization in
+  let params = Data.solver_params ctx in
+  let full = Lrd_core.Model.fit_from_trace ~hurst:Data.mtv_hurst trace in
+  Table.heading fmt title;
+  Format.fprintf fmt
+    "video trace at utilization %.2g; the fitted cutoff is eq. 26's \
+     horizon for each design buffer@."
+    utilization;
+  Format.fprintf fmt "%10s %12s %12s %12s %12s@." "buffer_s" "cutoff_s"
+    "full-model" "horizon-fit" "too-short";
+  let buffers = if Data.quick ctx then [ 0.05; 0.5 ] else [ 0.02; 0.1; 0.5; 2.0 ] in
+  List.iter
+    (fun buffer_seconds ->
+      let fitted, cutoff =
+        Lrd_core.Fitting.for_buffer ~hurst:Data.mtv_hurst trace ~utilization
+          ~buffer_seconds
+      in
+      let solve model =
+        (Lrd_core.Solver.solve_utilization ~params model ~utilization
+           ~buffer_seconds)
+          .Lrd_core.Solver.loss
+      in
+      let too_short =
+        Lrd_core.Model.create ~marginal:fitted.Lrd_core.Model.marginal
+          ~interarrival:
+            (Lrd_dist.Interarrival.truncated_pareto
+               ~theta:(Data.mtv_theta ctx)
+               ~alpha:(Lrd_core.Model.alpha_of_hurst Data.mtv_hurst)
+               ~cutoff:(cutoff /. 300.0))
+      in
+      Format.fprintf fmt "%10g %12s %12s %12s %12s@." buffer_seconds
+        (Table.axis_value cutoff)
+        (Table.cell_value (solve full))
+        (Table.cell_value (solve fitted))
+        (Table.cell_value (solve too_short)))
+    buffers;
+  Format.fprintf fmt
+    "(the horizon-fitted model carries no correlation beyond the CH yet \
+     tracks the full self-similar model's loss within a small factor at \
+     its design buffer - the loss-vs-cutoff curve converges only \
+     hyperbolically, so exact agreement would need a much larger cutoff \
+     for vanishing extra accuracy; truncating well BELOW the horizon \
+     loses the loss by orders of magnitude.  That asymmetry is the \
+     boundary the paper draws between relevant and irrelevant \
+     correlation)@."

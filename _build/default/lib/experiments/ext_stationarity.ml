@@ -1,0 +1,64 @@
+(* Extension: the stationarity debate of the paper's Introduction.
+   Measured "LRD" can be indistinguishable from a short-memory process
+   with level shifts (Klemes; Bhattacharya et al.; Duffield et al.).
+   Three diagnostics over four inputs:
+
+   - a genuinely LRD trace (the synthetic video trace);
+   - a phase-randomized surrogate of it (same spectrum, no phase
+     structure: linear LRD should survive);
+   - a deliberately nonstationary forgery: white noise plus one level
+     shift, tuned to fool the aggregated-variance estimator;
+   - plain white noise (control).
+
+   The wavelet-H estimate, the CUSUM statistic, and the split-half mean
+   shift are reported for each. *)
+
+let id = "ext-stationarity"
+let title = "Extension: LRD or level shift? stationarity diagnostics"
+
+let run ctx fmt =
+  let rng = Lrd_rng.Rng.create ~seed:(Int64.add (Data.seed ctx) 71L) in
+  let n = if Data.quick ctx then 16_384 else 65_536 in
+  let video =
+    Array.sub (Data.mtv ctx).Lrd_trace.Trace.rates 0
+      (min n (Lrd_trace.Trace.length (Data.mtv ctx)))
+  in
+  let surrogate = Lrd_stats.Stationarity.phase_randomized_surrogate rng video in
+  let white =
+    Array.init n (fun _ -> Lrd_rng.Sampler.normal rng ~mean:10.0 ~std:1.0)
+  in
+  let shifted =
+    Array.mapi
+      (fun i x -> if i > Array.length white / 2 then x +. 1.5 else x)
+      white
+  in
+  let inputs =
+    [
+      ("video (LRD)", video);
+      ("surrogate", surrogate);
+      ("level shift", shifted);
+      ("white noise", white);
+    ]
+  in
+  Table.heading fmt title;
+  Format.fprintf fmt "%14s %10s %10s %13s %12s@." "input" "H(wavelet)"
+    "H(aggvar)" "CUSUM(1.358)" "split-shift";
+  List.iter
+    (fun (name, data) ->
+      let wavelet = (Lrd_stats.Hurst.abry_veitch data).Lrd_stats.Hurst.hurst in
+      let aggvar =
+        (Lrd_stats.Hurst.aggregated_variance data).Lrd_stats.Hurst.hurst
+      in
+      let cusum = Lrd_stats.Stationarity.cusum data in
+      let shift = Lrd_stats.Stationarity.split_half_mean_shift data in
+      Format.fprintf fmt "%14s %10.3f %10.3f %13.3f %12.2f@." name wavelet
+        aggvar cusum.Lrd_stats.Stationarity.statistic shift)
+    inputs;
+  Format.fprintf fmt
+    "(the level-shift forgery inflates the aggregated-variance H like \
+     real LRD, but the CUSUM statistic explodes far beyond the 1.358 \
+     short-memory critical value and the split-half shift is large; the \
+     genuine LRD trace also trips the CUSUM - the normalization is \
+     invalid under LRD - which is precisely why the paper calls the \
+     debate unresolvable from one realization and judges models by \
+     their predictions instead)@."

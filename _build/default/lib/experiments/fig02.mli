@@ -1,0 +1,6 @@
+(** See the module comment in the implementation; registered in
+    {!Registry.figures}. *)
+
+val id : string
+val title : string
+val run : Data.t -> Format.formatter -> unit

@@ -1,0 +1,35 @@
+(* Fig. 3: the marginal rate distributions of the two traces, as 50-bin
+   histograms, plus the summary statistics the model fit consumes (mean,
+   std, mean epoch, Hurst estimates). *)
+
+let id = "fig3"
+let title = "Fig. 3: marginal distributions of the MTV and Bellcore traces"
+
+let print_one ctx fmt name trace marginal mean_epoch nominal_hurst =
+  let open Lrd_trace in
+  Format.fprintf fmt "@.%s: %d samples of %.4g s, mean %.4g, std %.4g@." name
+    (Trace.length trace) trace.Trace.slot (Trace.mean trace) (Trace.std trace);
+  let rates = trace.Trace.rates in
+  let wavelet = (Lrd_stats.Hurst.abry_veitch rates).Lrd_stats.Hurst.hurst in
+  let aggvar =
+    (Lrd_stats.Hurst.aggregated_variance rates).Lrd_stats.Hurst.hurst
+  in
+  Format.fprintf fmt
+    "mean epoch %.4g s; H nominal %.2f, wavelet estimate %.3f, \
+     aggregated-variance estimate %.3f@."
+    mean_epoch nominal_hurst wavelet aggvar;
+  ignore ctx;
+  let rs = Lrd_dist.Marginal.rates marginal in
+  let ps = Lrd_dist.Marginal.probs marginal in
+  Format.fprintf fmt "%11s %11s  (50-bin histogram marginal)@." "rate" "prob";
+  Array.iteri
+    (fun i r ->
+      Format.fprintf fmt "%11.4g %11.6f@." r ps.(i))
+    rs
+
+let run ctx fmt =
+  Table.heading fmt title;
+  print_one ctx fmt "MTV-like video trace" (Data.mtv ctx)
+    (Data.mtv_marginal ctx) (Data.mtv_mean_epoch ctx) Data.mtv_hurst;
+  print_one ctx fmt "Bellcore-like Ethernet trace" (Data.bellcore ctx)
+    (Data.bc_marginal ctx) (Data.bc_mean_epoch ctx) Data.bc_hurst

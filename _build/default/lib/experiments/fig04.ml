@@ -1,0 +1,41 @@
+(* Fig. 4: model loss rate for the MTV-like trace as a function of
+   normalized buffer size and cutoff lag, at utilization 0.8.  The two
+   headline shapes: (a) for each buffer the loss flattens once the
+   cutoff exceeds the correlation horizon; (b) for large cutoffs,
+   growing the buffer barely reduces loss (buffer ineffectiveness). *)
+
+let id = "fig4"
+let title = "Fig. 4: model loss vs (buffer, cutoff) - MTV, utilization 0.8"
+
+let surface ctx ~model_of ~utilization =
+  let quick = Data.quick ctx in
+  let buffers = Sweep.buffers ~quick () in
+  let cutoffs = Sweep.cutoffs ~quick () in
+  let params = Data.solver_params ctx in
+  let cells =
+    Sweep.surface ~xs:cutoffs ~ys:buffers ~f:(fun ~x:cutoff ~y:buffer ->
+        let model = model_of ~cutoff in
+        (Lrd_core.Solver.solve_utilization ~params model ~utilization
+           ~buffer_seconds:buffer)
+          .Lrd_core.Solver.loss)
+  in
+  {
+    Table.title;
+    xlabel = "cutoff_s";
+    ylabel = "buffer_s";
+    zlabel = "loss rate";
+    xs = cutoffs;
+    ys = buffers;
+    cells;
+  }
+
+let compute ctx =
+  {
+    (surface ctx
+       ~model_of:(fun ~cutoff -> Data.mtv_model ctx ~cutoff)
+       ~utilization:Data.mtv_utilization)
+    with
+    Table.title = title;
+  }
+
+let run ctx fmt = Table.print_surface fmt (compute ctx)

@@ -1,0 +1,15 @@
+(** Fig. 4: model loss vs (normalized buffer, cutoff lag), MTV-like
+    marginal at utilization 0.8. *)
+
+val id : string
+val title : string
+
+val surface :
+  Data.t ->
+  model_of:(cutoff:float -> Lrd_core.Model.t) ->
+  utilization:float ->
+  Table.surface
+(** Shared loss-vs-(buffer, cutoff) sweep, also used by {!Fig05}. *)
+
+val compute : Data.t -> Table.surface
+val run : Data.t -> Format.formatter -> unit

@@ -1,0 +1,19 @@
+(* Fig. 5: as Fig. 4 for the Bellcore-like trace at utilization 0.4 (the
+   paper picks per-trace utilizations so the losses land in the
+   practically relevant 1e-1 .. 1e-10 band). *)
+
+let id = "fig5"
+
+let title =
+  "Fig. 5: model loss vs (buffer, cutoff) - Bellcore, utilization 0.4"
+
+let compute ctx =
+  {
+    (Fig04.surface ctx
+       ~model_of:(fun ~cutoff -> Data.bc_model ctx ~cutoff)
+       ~utilization:Data.bc_utilization)
+    with
+    Table.title = title;
+  }
+
+let run ctx fmt = Table.print_surface fmt (compute ctx)

@@ -1,0 +1,6 @@
+(** Fig. 5: as Fig. 4 for the Bellcore-like marginal at utilization 0.4. *)
+
+val id : string
+val title : string
+val compute : Data.t -> Table.surface
+val run : Data.t -> Format.formatter -> unit

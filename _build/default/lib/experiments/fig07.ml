@@ -1,0 +1,59 @@
+(* Fig. 7: trace-driven counterpart of Fig. 4 — loss measured by feeding
+   externally shuffled versions of the MTV-like trace to the exact fluid
+   queue simulator, with the shuffle block length playing the role of the
+   cutoff lag.  Completely independent of the stochastic model; the
+   paper uses the agreement between Figs. 4 and 7 to validate the
+   model. *)
+
+let id = "fig7"
+
+let title =
+  "Fig. 7: shuffled-trace simulation loss vs (buffer, cutoff) - MTV, \
+   utilization 0.8"
+
+let surface ctx ~trace ~utilization ~title =
+  let quick = Data.quick ctx in
+  let buffers = Sweep.buffers ~quick () in
+  let cutoffs = Sweep.cutoffs ~quick () in
+  let blocks = Sweep.shuffle_blocks_of_cutoffs trace cutoffs in
+  let rng = Lrd_rng.Rng.create ~seed:(Int64.add (Data.seed ctx) 7L) in
+  (* One shuffle per cutoff, reused across every buffer size (columns of
+     the surface), exactly as a single shuffled trace would be in the
+     paper's simulations. *)
+  let columns =
+    Array.map
+      (fun (_, block) ->
+        match block with
+        | None -> trace
+        | Some b -> Lrd_trace.Shuffle.external_shuffle rng trace ~block:b)
+      blocks
+  in
+  let c = Lrd_trace.Trace.service_rate_for_utilization trace ~utilization in
+  let cells =
+    Array.map
+      (fun buffer_seconds ->
+        Array.map
+          (fun shuffled ->
+            let sim =
+              Lrd_fluidsim.Queue_sim.make ~service_rate:c
+                ~buffer:(buffer_seconds *. c) ()
+            in
+            Lrd_fluidsim.Queue_sim.loss_rate
+              (Lrd_fluidsim.Queue_sim.run_trace sim shuffled))
+          columns)
+      buffers
+  in
+  {
+    Table.title;
+    xlabel = "cutoff_s";
+    ylabel = "buffer_s";
+    zlabel = "simulated loss rate";
+    xs = cutoffs;
+    ys = buffers;
+    cells;
+  }
+
+let compute ctx =
+  surface ctx ~trace:(Data.mtv ctx) ~utilization:Data.mtv_utilization ~title
+
+let run ctx fmt = Table.print_surface fmt (compute ctx)

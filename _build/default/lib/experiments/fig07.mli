@@ -1,0 +1,16 @@
+(** Fig. 7: shuffled-trace simulation loss vs (buffer, shuffle block),
+    MTV-like trace at utilization 0.8. *)
+
+val id : string
+val title : string
+
+val surface :
+  Data.t ->
+  trace:Lrd_trace.Trace.t ->
+  utilization:float ->
+  title:string ->
+  Table.surface
+(** Shared shuffle-simulation sweep, also used by {!Fig08} and {!Fig14}. *)
+
+val compute : Data.t -> Table.surface
+val run : Data.t -> Format.formatter -> unit

@@ -1,0 +1,16 @@
+(* Fig. 8: as Fig. 7 for the Bellcore-like trace at utilization 0.4.
+   The paper notes the model-vs-shuffle agreement is coarser here (the
+   fluid model's residence-time law fits the Ethernet trace less well),
+   but the correlation horizon and buffer ineffectiveness show in both. *)
+
+let id = "fig8"
+
+let title =
+  "Fig. 8: shuffled-trace simulation loss vs (buffer, cutoff) - Bellcore, \
+   utilization 0.4"
+
+let compute ctx =
+  Fig07.surface ctx ~trace:(Data.bellcore ctx)
+    ~utilization:Data.bc_utilization ~title
+
+let run ctx fmt = Table.print_surface fmt (compute ctx)

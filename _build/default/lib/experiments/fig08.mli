@@ -1,0 +1,6 @@
+(** Fig. 8: as Fig. 7 for the Bellcore-like trace at utilization 0.4. *)
+
+val id : string
+val title : string
+val compute : Data.t -> Table.surface
+val run : Data.t -> Format.formatter -> unit

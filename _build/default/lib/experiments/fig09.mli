@@ -1,0 +1,11 @@
+(** Fig. 9: loss vs cutoff lag for the two marginals with all other
+    parameters equal — the marginal distribution alone moves the loss by
+    orders of magnitude. *)
+
+val id : string
+val title : string
+
+val compute : Data.t -> float array * float array * float array
+(** [(cutoffs, mtv_losses, bellcore_losses)]. *)
+
+val run : Data.t -> Format.formatter -> unit

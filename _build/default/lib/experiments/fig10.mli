@@ -1,0 +1,20 @@
+(** Fig. 10: loss vs (Hurst parameter, marginal scaling factor). *)
+
+val id : string
+val title : string
+
+val surface :
+  Data.t ->
+  base_marginal:Lrd_dist.Marginal.t ->
+  theta:float ->
+  utilization:float ->
+  title:string ->
+  transform:(Lrd_dist.Marginal.t -> float -> Lrd_dist.Marginal.t) ->
+  xs:float array ->
+  xlabel:string ->
+  Table.surface
+(** Shared loss-vs-(Hurst, marginal transform) sweep, also used by
+    {!Fig11}. *)
+
+val compute : Data.t -> Table.surface
+val run : Data.t -> Format.formatter -> unit

@@ -1,0 +1,6 @@
+(** Fig. 11: loss vs (Hurst parameter, number of superposed streams). *)
+
+val id : string
+val title : string
+val compute : Data.t -> Table.surface
+val run : Data.t -> Format.formatter -> unit

@@ -1,0 +1,17 @@
+(** Fig. 12: loss vs (normalized buffer, marginal scaling factor). *)
+
+val id : string
+val title : string
+
+val surface :
+  Data.t ->
+  base_marginal:Lrd_dist.Marginal.t ->
+  theta:float ->
+  hurst:float ->
+  utilization:float ->
+  title:string ->
+  Table.surface
+(** Shared sweep, also used by {!Fig13}. *)
+
+val compute : Data.t -> Table.surface
+val run : Data.t -> Format.formatter -> unit

@@ -1,0 +1,14 @@
+(* Fig. 13: as Fig. 12 for the Bellcore-like trace at utilization 0.4. *)
+
+let id = "fig13"
+
+let title =
+  "Fig. 13: model loss vs (buffer, marginal scaling) - Bellcore, utilization \
+   0.4, cutoff = inf"
+
+let compute ctx =
+  Fig12.surface ctx ~base_marginal:(Data.bc_marginal ctx)
+    ~theta:(Data.bc_theta ctx) ~hurst:Data.bc_hurst
+    ~utilization:Data.bc_utilization ~title
+
+let run ctx fmt = Table.print_surface fmt (compute ctx)

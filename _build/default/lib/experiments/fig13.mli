@@ -1,0 +1,6 @@
+(** Fig. 13: as Fig. 12 for the Bellcore-like marginal at utilization 0.4. *)
+
+val id : string
+val title : string
+val compute : Data.t -> Table.surface
+val run : Data.t -> Format.formatter -> unit

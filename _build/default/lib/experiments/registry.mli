@@ -1,0 +1,30 @@
+(** The experiment registry: every paper figure plus the ablations, each
+    runnable by id.  This is the single source the bench harness and the
+    CLI iterate over. *)
+
+type entry = {
+  id : string;  (** Stable identifier, e.g. "fig4" or "abl-shuffle". *)
+  title : string;
+  run : Data.t -> Format.formatter -> unit;
+}
+
+val figures : entry list
+(** The paper's figures, in order (fig2 .. fig14). *)
+
+val ablations : entry list
+(** The design-choice ablations promised in DESIGN.md. *)
+
+val extensions : entry list
+(** Experiments beyond the paper: tail asymptotics, estimator
+    comparison, inverse provisioning, occupancy bounds, and the
+    correlation-horizon estimate comparison. *)
+
+val all : entry list
+(** [figures @ ablations @ extensions]. *)
+
+val find : string -> entry option
+
+val run :
+  ?only:string list -> Data.t -> Format.formatter -> unit
+(** Runs the selected entries (all by default) in registry order,
+    printing each.  Unknown ids in [only] raise [Invalid_argument]. *)

@@ -1,0 +1,44 @@
+let buffers ~quick ?(max_seconds = 2.0) () =
+  let points = if quick then 4 else 7 in
+  Lrd_numerics.Array_ops.logspace 0.01 max_seconds points
+
+let cutoffs ~quick () =
+  let points = if quick then 4 else 10 in
+  let finite = Lrd_numerics.Array_ops.logspace 0.1 100.0 points in
+  Array.append finite [| Float.infinity |]
+
+let hursts ~quick () =
+  if quick then [| 0.55; 0.75; 0.95 |] else [| 0.55; 0.65; 0.75; 0.85; 0.95 |]
+
+let scalings ~quick () =
+  if quick then [| 0.5; 1.0; 1.5 |] else [| 0.5; 0.75; 1.0; 1.25; 1.5 |]
+
+let stream_counts ~quick () =
+  if quick then [| 1; 3; 7 |] else [| 1; 2; 3; 5; 7; 10 |]
+
+let surface ~xs ~ys ~f =
+  Array.map (fun y -> Array.map (fun x -> f ~x ~y) xs) ys
+
+let shuffled_loss rng trace ~utilization ~buffer_seconds ~block =
+  let shuffled =
+    match block with
+    | None -> trace
+    | Some b -> Lrd_trace.Shuffle.external_shuffle rng trace ~block:b
+  in
+  let c =
+    Lrd_trace.Trace.service_rate_for_utilization trace ~utilization
+  in
+  let sim =
+    Lrd_fluidsim.Queue_sim.make ~service_rate:c
+      ~buffer:(buffer_seconds *. c) ()
+  in
+  Lrd_fluidsim.Queue_sim.loss_rate
+    (Lrd_fluidsim.Queue_sim.run_trace sim shuffled)
+
+let shuffle_blocks_of_cutoffs trace cutoffs =
+  let slot = trace.Lrd_trace.Trace.slot in
+  Array.map
+    (fun tc ->
+      if tc = Float.infinity then (tc, None)
+      else (tc, Some (max 1 (int_of_float (Float.round (tc /. slot))))))
+    cutoffs

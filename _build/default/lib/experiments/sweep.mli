@@ -1,0 +1,45 @@
+(** Parameter grids and sweep helpers shared by the figure runners. *)
+
+val buffers : quick:bool -> ?max_seconds:float -> unit -> float array
+(** Normalized buffer sizes in seconds, log-spaced from 10 ms up to
+    [max_seconds] (default 2 s) — the "up to a few seconds" range the
+    paper motivates with contemporary switch buffers.  7 points (4 in
+    quick mode). *)
+
+val cutoffs : quick:bool -> unit -> float array
+(** Cutoff lags in seconds, log-spaced from 100 ms to 100 s plus
+    infinity.  8 points (5 in quick mode). *)
+
+val hursts : quick:bool -> unit -> float array
+(** Hurst parameters spanning the paper's (0.55, 0.95) range. *)
+
+val scalings : quick:bool -> unit -> float array
+(** Marginal scaling factors spanning the paper's (0.5, 1.5) range. *)
+
+val stream_counts : quick:bool -> unit -> int array
+(** Numbers of superposed streams, 1 .. 10. *)
+
+val surface :
+  xs:float array ->
+  ys:float array ->
+  f:(x:float -> y:float -> float) ->
+  float array array
+(** [cells.(row).(col) = f ~x:xs.(col) ~y:ys.(row)]. *)
+
+val shuffled_loss :
+  Lrd_rng.Rng.t ->
+  Lrd_trace.Trace.t ->
+  utilization:float ->
+  buffer_seconds:float ->
+  block:int option ->
+  float
+(** Trace-driven loss rate: externally shuffles the trace with the given
+    block size ([None] leaves it unshuffled), feeds it to the exact fluid
+    queue with [c = mean / utilization] and [B = buffer_seconds * c],
+    and returns the measured loss rate. *)
+
+val shuffle_blocks_of_cutoffs :
+  Lrd_trace.Trace.t -> float array -> (float * int option) array
+(** Maps each cutoff lag to the shuffle block size [T_c / slot]
+    (infinity maps to [None], i.e. the unshuffled trace); cutoffs below
+    one slot are clamped to a single-sample block. *)

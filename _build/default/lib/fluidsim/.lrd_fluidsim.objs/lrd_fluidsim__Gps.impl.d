@@ -1,0 +1,1 @@
+lib/fluidsim/gps.ml: Array Float Lrd_numerics Lrd_trace

@@ -1,0 +1,1 @@
+lib/fluidsim/gps.mli: Lrd_trace

@@ -1,0 +1,1 @@
+lib/fluidsim/priority.ml: Array List Lrd_numerics Lrd_trace Queue_sim

@@ -1,0 +1,1 @@
+lib/fluidsim/priority.mli: Lrd_trace Queue_sim

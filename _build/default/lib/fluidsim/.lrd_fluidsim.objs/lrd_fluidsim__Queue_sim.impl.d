@@ -1,0 +1,1 @@
+lib/fluidsim/queue_sim.ml: Array Float Lrd_numerics Lrd_trace Seq Summation

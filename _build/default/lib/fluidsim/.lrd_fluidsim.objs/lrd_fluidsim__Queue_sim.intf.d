@@ -1,0 +1,1 @@
+lib/fluidsim/queue_sim.mli: Lrd_trace Seq

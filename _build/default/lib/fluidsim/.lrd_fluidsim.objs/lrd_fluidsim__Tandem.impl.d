@@ -1,0 +1,1 @@
+lib/fluidsim/tandem.ml: Array List Lrd_trace Queue_sim Seq

@@ -1,0 +1,1 @@
+lib/fluidsim/tandem.mli: Lrd_trace Queue_sim Seq

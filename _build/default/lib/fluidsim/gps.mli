@@ -1,0 +1,32 @@
+(** Two-class Generalized Processor Sharing (weighted fair) fluid
+    multiplexer.
+
+    While both classes are backlogged, class [i] is served at
+    [phi_i c]; a class that needs less than its guaranteed share
+    releases the surplus to the other (work conservation).  Each class
+    has its own finite buffer.  The evolution inside a slot is
+    piecewise linear with at most a few breakpoints (a class emptying
+    or filling changes the service split); the simulation advances
+    breakpoint to breakpoint, so it is exact.
+
+    GPS is the standard idealization of fair queueing; with
+    [phi_high -> 1] it degenerates to {!Priority}. *)
+
+type class_stats = {
+  arrived : float;
+  lost : float;
+  loss_rate : float;
+  max_occupancy : float;
+}
+
+val run :
+  service_rate:float ->
+  weight:float ->
+  buffers:float * float ->
+  first:Lrd_trace.Trace.t ->
+  second:Lrd_trace.Trace.t ->
+  class_stats * class_stats
+(** [weight] is the first class's guaranteed share in (0, 1) (the second
+    gets [1 - weight]); [buffers] are the per-class buffer sizes.
+    Traces must share slot and length.  @raise Invalid_argument
+    otherwise. *)

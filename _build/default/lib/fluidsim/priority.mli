@@ -1,0 +1,35 @@
+(** Strict-priority two-class fluid multiplexer.
+
+    The high class is served work-conserving at the full link rate; the
+    low class receives the instantaneous residual capacity.  Each class
+    has its own finite buffer.  The evolution is exact: within a slot
+    the high queue's departure process is one or two constant-rate
+    segments ({!Queue_sim.offer_with_output}), and on each segment the
+    low queue's occupancy slope is
+    [low rate - (c - high departure rate)] — implemented by feeding the
+    low queue the virtual arrival [low rate + high departure rate]
+    against the full service rate, which reproduces both the occupancy
+    path and the lost low fluid exactly.
+
+    This is the service-differentiation side of the paper's
+    multiplexing discussion: a bursty LRD class can be isolated (high
+    priority, small loss) at the expense of the class absorbing the
+    residual capacity. *)
+
+type low_stats = {
+  arrived : float;  (** Low-class work offered. *)
+  lost : float;  (** Low-class work lost. *)
+  loss_rate : float;
+  max_occupancy : float;
+}
+
+val run :
+  service_rate:float ->
+  high_buffer:float ->
+  low_buffer:float ->
+  high:Lrd_trace.Trace.t ->
+  low:Lrd_trace.Trace.t ->
+  Queue_sim.stats * low_stats
+(** Feeds both traces (which must share slot length and sample count)
+    through the multiplexer.  @raise Invalid_argument on mismatched
+    traces or invalid parameters. *)

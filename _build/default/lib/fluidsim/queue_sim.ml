@@ -1,0 +1,171 @@
+open Lrd_numerics
+
+type stats = {
+  arrived : float;
+  lost : float;
+  served : float;
+  final_occupancy : float;
+  max_occupancy : float;
+  busy_time : float;
+  duration : float;
+}
+
+let loss_rate s = if s.arrived > 0.0 then s.lost /. s.arrived else 0.0
+let utilization s ~service_rate = s.served /. (service_rate *. s.duration)
+
+type state = {
+  service_rate : float;
+  buffer : float;
+  initial : float;
+  mutable q : float;
+  mutable max_q : float;
+  arrived_acc : Summation.accumulator;
+  lost_acc : Summation.accumulator;
+  busy_acc : Summation.accumulator;
+  time_acc : Summation.accumulator;
+}
+
+let make ~service_rate ~buffer ?(initial = 0.0) () =
+  if not (service_rate > 0.0) then
+    invalid_arg "Queue_sim.make: service rate must be positive";
+  if not (buffer >= 0.0) then
+    invalid_arg "Queue_sim.make: buffer must be nonnegative";
+  if not (initial >= 0.0 && initial <= buffer) then
+    invalid_arg "Queue_sim.make: initial occupancy outside [0, buffer]";
+  {
+    service_rate;
+    buffer;
+    initial;
+    q = initial;
+    max_q = initial;
+    arrived_acc = Summation.create ();
+    lost_acc = Summation.create ();
+    busy_acc = Summation.create ();
+    time_acc = Summation.create ();
+  }
+
+let occupancy s = s.q
+
+(* One epoch in closed form.  Slope = r - c; occupancy is clamped to
+   [0, B]; once at B with positive slope, all excess inflow is lost. *)
+let offer s ~rate ~duration =
+  if not (rate >= 0.0) then invalid_arg "Queue_sim.offer: negative rate";
+  if not (duration >= 0.0) then
+    invalid_arg "Queue_sim.offer: negative duration";
+  let c = s.service_rate and b = s.buffer in
+  let slope = rate -. c in
+  Summation.add s.arrived_acc (rate *. duration);
+  Summation.add s.time_acc duration;
+  let lost =
+    if slope > 0.0 then begin
+      let head = (b -. s.q) /. slope in
+      if head >= duration then begin
+        (* Buffer never fills during this epoch. *)
+        s.q <- s.q +. (slope *. duration);
+        Summation.add s.busy_acc duration;
+        0.0
+      end
+      else begin
+        (* Fills after [head], then overflows for the rest. *)
+        let overflow_time = duration -. head in
+        s.q <- b;
+        Summation.add s.busy_acc duration;
+        slope *. overflow_time
+      end
+    end
+    else begin
+      (* Draining (or constant).  Fully busy until the buffer empties;
+         afterwards the arrival stream alone keeps the server busy a
+         fraction [rate / c] of the residual time. *)
+      let drain_time = if slope < 0.0 then s.q /. -.slope else infinity in
+      let full = Float.min duration drain_time in
+      let residual = duration -. full in
+      Summation.add s.busy_acc (full +. (residual *. rate /. c));
+      s.q <- Float.max 0.0 (s.q +. (slope *. duration));
+      0.0
+    end
+  in
+  if s.q > s.max_q then s.max_q <- s.q;
+  Summation.add s.lost_acc lost;
+  lost
+
+let snapshot s ~initial =
+  let arrived = Summation.total s.arrived_acc in
+  let lost = Summation.total s.lost_acc in
+  {
+    arrived;
+    lost;
+    served = arrived -. lost -. (s.q -. initial);
+    final_occupancy = s.q;
+    max_occupancy = s.max_q;
+    busy_time = Summation.total s.busy_acc;
+    duration = Summation.total s.time_acc;
+  }
+
+let stats s = snapshot s ~initial:s.initial
+
+(* Departure segments of one epoch, computed from the pre-offer
+   occupancy: the server emits at [c] while the buffer is nonempty (or
+   the arrival alone saturates it), and at the arrival rate once the
+   buffer has drained. *)
+let output_segments s ~rate ~duration =
+  let c = s.service_rate in
+  if duration = 0.0 then []
+  else if rate >= c then [ (c, duration) ]
+  else if s.q <= 0.0 then [ (rate, duration) ]
+  else begin
+    let drain_time = s.q /. (c -. rate) in
+    if drain_time >= duration then [ (c, duration) ]
+    else [ (c, drain_time); (rate, duration -. drain_time) ]
+  end
+
+let offer_with_output s ~rate ~duration =
+  let segments = output_segments s ~rate ~duration in
+  let lost = offer s ~rate ~duration in
+  (lost, segments)
+
+let run_epochs s epochs =
+  let initial = s.q in
+  Seq.iter (fun (rate, duration) -> ignore (offer s ~rate ~duration)) epochs;
+  snapshot s ~initial
+
+let run_trace s trace =
+  let slot = trace.Lrd_trace.Trace.slot in
+  run_epochs s
+    (Array.to_seq trace.Lrd_trace.Trace.rates
+    |> Seq.map (fun r -> (r, slot)))
+
+let epoch_time_above ~service_rate ~initial ~rate ~duration ~level =
+  if not (duration >= 0.0) then
+    invalid_arg "Queue_sim.epoch_time_above: negative duration";
+  let slope = rate -. service_rate in
+  if slope > 0.0 then
+    (* Rising: above the level from the crossing instant onward. *)
+    duration -. Float.max 0.0 (Float.min duration ((level -. initial) /. slope))
+  else if slope < 0.0 then
+    (* Falling (clamped at 0): above until the crossing instant. *)
+    Float.max 0.0 (Float.min duration ((initial -. level) /. -.slope))
+  else if initial > level then duration
+  else 0.0
+
+let occupancy_per_slot s trace =
+  let initial = s.q in
+  let slot = trace.Lrd_trace.Trace.slot in
+  let occupancies =
+    Array.map
+      (fun rate ->
+        ignore (offer s ~rate ~duration:slot);
+        s.q)
+      trace.Lrd_trace.Trace.rates
+  in
+  (occupancies, snapshot s ~initial)
+
+let losses_per_slot s trace =
+  let initial = s.q in
+  let slot = trace.Lrd_trace.Trace.slot in
+  let losses =
+    Array.map
+      (fun rate -> offer s ~rate ~duration:slot)
+      trace.Lrd_trace.Trace.rates
+  in
+  (losses, snapshot s ~initial)

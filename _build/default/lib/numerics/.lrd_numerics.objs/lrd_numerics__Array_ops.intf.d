@@ -1,0 +1,1 @@
+lib/numerics/array_ops.mli:

@@ -1,0 +1,1 @@
+lib/numerics/convolution.ml: Array Fft

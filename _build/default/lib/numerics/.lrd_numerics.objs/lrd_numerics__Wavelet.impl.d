@@ -1,0 +1,1 @@
+lib/numerics/wavelet.ml: Array List Summation

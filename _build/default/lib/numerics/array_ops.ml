@@ -1,0 +1,42 @@
+let linspace a b n =
+  if n < 2 then invalid_arg "Array_ops.linspace: need at least two points";
+  let step = (b -. a) /. float_of_int (n - 1) in
+  Array.init n (fun i ->
+      if i = n - 1 then b else a +. (float_of_int i *. step))
+
+let logspace a b n =
+  if a <= 0.0 || b <= 0.0 then
+    invalid_arg "Array_ops.logspace: endpoints must be positive";
+  if n < 2 then [| a |]
+  else Array.map exp (linspace (log a) (log b) n)
+
+let sum = Summation.kahan
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Array_ops.mean: empty array";
+  sum a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Array_ops.variance: empty array";
+  let m = mean a in
+  let acc = Summation.create () in
+  Array.iter (fun x -> Summation.add acc ((x -. m) *. (x -. m))) a;
+  Summation.total acc /. float_of_int n
+
+let min_element a = Array.fold_left Float.min a.(0) a
+let max_element a = Array.fold_left Float.max a.(0) a
+
+let normalize a =
+  let s = sum a in
+  if not (s > 0.0) then
+    invalid_arg "Array_ops.normalize: sum must be positive";
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- a.(i) /. s
+  done
+
+let fold_lefti f init a =
+  let acc = ref init in
+  Array.iteri (fun i x -> acc := f !acc i x) a;
+  !acc

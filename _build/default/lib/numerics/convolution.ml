@@ -1,0 +1,79 @@
+let direct a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then [||]
+  else begin
+    let out = Array.make (na + nb - 1) 0.0 in
+    for i = 0 to na - 1 do
+      let ai = a.(i) in
+      if ai <> 0.0 then
+        for j = 0 to nb - 1 do
+          out.(i + j) <- out.(i + j) +. (ai *. b.(j))
+        done
+    done;
+    out
+  end
+
+let fft a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then [||]
+  else begin
+    let n = Fft.next_power_of_two (na + nb - 1) in
+    let are = Array.make n 0.0 and aim = Array.make n 0.0 in
+    let bre = Array.make n 0.0 and bim = Array.make n 0.0 in
+    Array.blit a 0 are 0 na;
+    Array.blit b 0 bre 0 nb;
+    Fft.forward ~re:are ~im:aim;
+    Fft.forward ~re:bre ~im:bim;
+    for i = 0 to n - 1 do
+      let r = (are.(i) *. bre.(i)) -. (aim.(i) *. bim.(i)) in
+      let im = (are.(i) *. bim.(i)) +. (aim.(i) *. bre.(i)) in
+      are.(i) <- r;
+      aim.(i) <- im
+    done;
+    Fft.inverse ~re:are ~im:aim;
+    Array.sub are 0 (na + nb - 1)
+  end
+
+(* FFT convolution beats the schoolbook loop once the product of lengths
+   is large; the threshold is deliberately conservative. *)
+let auto a b =
+  let na = Array.length a and nb = Array.length b in
+  if na * nb <= 4096 then direct a b else fft a b
+
+type plan = {
+  kernel_len : int;
+  max_signal : int;
+  n : int;
+  kre : float array;
+  kim : float array;
+}
+
+let make_plan ~kernel ~max_signal =
+  let nk = Array.length kernel in
+  if nk = 0 then invalid_arg "Convolution.make_plan: empty kernel";
+  if max_signal < 1 then invalid_arg "Convolution.make_plan: max_signal < 1";
+  let n = Fft.next_power_of_two (nk + max_signal - 1) in
+  let kre = Array.make n 0.0 and kim = Array.make n 0.0 in
+  Array.blit kernel 0 kre 0 nk;
+  Fft.forward ~re:kre ~im:kim;
+  { kernel_len = nk; max_signal; n; kre; kim }
+
+let convolve_plan plan a =
+  let na = Array.length a in
+  if na > plan.max_signal then
+    invalid_arg "Convolution.convolve_plan: signal longer than plan";
+  if na = 0 then [||]
+  else begin
+    let n = plan.n in
+    let are = Array.make n 0.0 and aim = Array.make n 0.0 in
+    Array.blit a 0 are 0 na;
+    Fft.forward ~re:are ~im:aim;
+    for i = 0 to n - 1 do
+      let r = (are.(i) *. plan.kre.(i)) -. (aim.(i) *. plan.kim.(i)) in
+      let im = (are.(i) *. plan.kim.(i)) +. (aim.(i) *. plan.kre.(i)) in
+      are.(i) <- r;
+      aim.(i) <- im
+    done;
+    Fft.inverse ~re:are ~im:aim;
+    Array.sub are 0 (na + plan.kernel_len - 1)
+  end

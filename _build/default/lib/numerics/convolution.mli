@@ -1,0 +1,32 @@
+(** Linear convolution of real-valued sequences.
+
+    The linear convolution of [a] (length [na]) and [b] (length [nb]) is
+    the sequence of length [na + nb - 1] with
+    [c.(k) = sum_j a.(j) * b.(k - j)].  This is the kernel of the paper's
+    queue-occupancy recursion (eq. 19): each solver iteration convolves the
+    occupancy vector with the discretized increment distribution. *)
+
+val direct : float array -> float array -> float array
+(** O(na * nb) schoolbook convolution.  Exact up to rounding; used as the
+    oracle for {!fft} and preferred for very short inputs. *)
+
+val fft : float array -> float array -> float array
+(** O(n log n) convolution via zero-padded FFT (as suggested in the paper,
+    Section II, citing Oppenheim & Schafer). *)
+
+val auto : float array -> float array -> float array
+(** Picks {!direct} or {!fft} based on input sizes. *)
+
+type plan
+(** A reusable FFT plan for repeated convolutions against a fixed kernel,
+    as in the solver where the increment distribution [w] is fixed across
+    iterations while the occupancy vector changes. *)
+
+val make_plan : kernel:float array -> max_signal:int -> plan
+(** [make_plan ~kernel ~max_signal] precomputes the padded transform of
+    [kernel] for convolving with signals of length [<= max_signal]. *)
+
+val convolve_plan : plan -> float array -> float array
+(** [convolve_plan plan a] is [fft kernel a] computed with the cached
+    kernel transform.  @raise Invalid_argument if [a] is longer than the
+    plan's [max_signal]. *)

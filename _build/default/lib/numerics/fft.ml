@@ -1,0 +1,98 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let next_power_of_two n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* Bit-reversal permutation, in place. *)
+let bit_reverse re im =
+  let n = Array.length re in
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tr = re.(i) and ti = im.(i) in
+      re.(i) <- re.(!j);
+      im.(i) <- im.(!j);
+      re.(!j) <- tr;
+      im.(!j) <- ti
+    end;
+    (* Add one to [j] viewed as a bit-reversed counter. *)
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done
+
+let check re im =
+  let n = Array.length re in
+  if Array.length im <> n then
+    invalid_arg "Fft: re and im must have the same length";
+  if not (is_power_of_two n) then
+    invalid_arg "Fft: length must be a power of two"
+
+(* Iterative Cooley-Tukey butterflies; [sign] is -1 for the forward
+   transform and +1 for the inverse. *)
+let transform ~sign re im =
+  check re im;
+  let n = Array.length re in
+  if n > 1 then begin
+    bit_reverse re im;
+    let len = ref 2 in
+    while !len <= n do
+      let half = !len / 2 in
+      let ang = float_of_int sign *. 2.0 *. Float.pi /. float_of_int !len in
+      let wr = cos ang and wi = sin ang in
+      let i = ref 0 in
+      while !i < n do
+        let cr = ref 1.0 and ci = ref 0.0 in
+        for k = 0 to half - 1 do
+          let a = !i + k and b = !i + k + half in
+          let tr = (re.(b) *. !cr) -. (im.(b) *. !ci)
+          and ti = (re.(b) *. !ci) +. (im.(b) *. !cr) in
+          re.(b) <- re.(a) -. tr;
+          im.(b) <- im.(a) -. ti;
+          re.(a) <- re.(a) +. tr;
+          im.(a) <- im.(a) +. ti;
+          let nr = (!cr *. wr) -. (!ci *. wi) in
+          ci := (!cr *. wi) +. (!ci *. wr);
+          cr := nr
+        done;
+        i := !i + !len
+      done;
+      len := !len * 2
+    done
+  end
+
+let forward ~re ~im = transform ~sign:(-1) re im
+
+let inverse ~re ~im =
+  transform ~sign:1 re im;
+  let n = Array.length re in
+  let inv = 1.0 /. float_of_int n in
+  for i = 0 to n - 1 do
+    re.(i) <- re.(i) *. inv;
+    im.(i) <- im.(i) *. inv
+  done
+
+let dft_naive ~re ~im =
+  let n = Array.length re in
+  if Array.length im <> n then
+    invalid_arg "Fft.dft_naive: re and im must have the same length";
+  let out_re = Array.make n 0.0 and out_im = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    let sr = ref 0.0 and si = ref 0.0 in
+    for j = 0 to n - 1 do
+      let ang =
+        -2.0 *. Float.pi *. float_of_int k *. float_of_int j
+        /. float_of_int n
+      in
+      let c = cos ang and s = sin ang in
+      sr := !sr +. (re.(j) *. c) -. (im.(j) *. s);
+      si := !si +. (re.(j) *. s) +. (im.(j) *. c)
+    done;
+    out_re.(k) <- !sr;
+    out_im.(k) <- !si
+  done;
+  (out_re, out_im)

@@ -1,0 +1,26 @@
+(** Iterative radix-2 complex fast Fourier transform.
+
+    The transform operates in place on a pair of arrays holding the real
+    and imaginary parts.  Lengths must be powers of two.  The forward
+    transform computes [X_k = sum_n x_n exp(-2 i pi k n / N)]; the inverse
+    transform includes the [1/N] normalization so that
+    [inverse (forward x) = x] up to rounding. *)
+
+val is_power_of_two : int -> bool
+(** [is_power_of_two n] is [true] iff [n] is a positive power of two. *)
+
+val next_power_of_two : int -> int
+(** [next_power_of_two n] is the smallest power of two [>= max 1 n]. *)
+
+val forward : re:float array -> im:float array -> unit
+(** In-place forward transform.  @raise Invalid_argument if the arrays
+    have different lengths or a length that is not a power of two. *)
+
+val inverse : re:float array -> im:float array -> unit
+(** In-place inverse transform with [1/N] normalization.
+    @raise Invalid_argument as for {!forward}. *)
+
+val dft_naive : re:float array -> im:float array -> float array * float array
+(** Direct O(N^2) discrete Fourier transform of the given complex signal,
+    returned as fresh arrays.  Any length is accepted.  Intended as a test
+    oracle for {!forward}. *)

@@ -1,0 +1,37 @@
+(* Classic adaptive Simpson with the Richardson error estimate
+   |S2 - S1| / 15 and a depth cap to guarantee termination. *)
+let simpson ~f ~a ~b ~eps =
+  if a = b then 0.0
+  else begin
+    let simpson_rule fa fm fb a b = (b -. a) /. 6.0 *. (fa +. (4.0 *. fm) +. fb) in
+    let rec go a b fa fm fb whole eps depth =
+      let m = (a +. b) /. 2.0 in
+      let lm = (a +. m) /. 2.0 and rm = (m +. b) /. 2.0 in
+      let flm = f lm and frm = f rm in
+      let left = simpson_rule fa flm fm a m in
+      let right = simpson_rule fm frm fb m b in
+      let delta = left +. right -. whole in
+      if depth <= 0 || Float.abs delta <= 15.0 *. eps then
+        left +. right +. (delta /. 15.0)
+      else
+        go a m fa flm fm left (eps /. 2.0) (depth - 1)
+        +. go m b fm frm fb right (eps /. 2.0) (depth - 1)
+    in
+    let fa = f a and fb = f b and fm = f ((a +. b) /. 2.0) in
+    let whole = simpson_rule fa fm fb a b in
+    go a b fa fm fb whole eps 50
+  end
+
+let simpson_to_infinity ~f ~a ~eps =
+  (* Substitute t = a + u/(1-u), dt = du/(1-u)^2, u in [0, 1). *)
+  let g u =
+    if u >= 1.0 then 0.0
+    else begin
+      let one_minus = 1.0 -. u in
+      let t = a +. (u /. one_minus) in
+      f t /. (one_minus *. one_minus)
+    end
+  in
+  (* Stop just short of u = 1 to avoid evaluating the singular endpoint;
+     the remaining sliver is negligible for integrands decaying >= 1/t^2. *)
+  simpson ~f:g ~a:0.0 ~b:(1.0 -. 1e-9) ~eps

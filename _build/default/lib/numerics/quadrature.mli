@@ -1,0 +1,14 @@
+(** Adaptive numerical integration.
+
+    Used for interarrival laws whose survival-function integral (needed in
+    the generic expected-overflow formula, Section II of the paper) has no
+    closed form, e.g. the Weibull epochs of the interarrival-law ablation. *)
+
+val simpson : f:(float -> float) -> a:float -> b:float -> eps:float -> float
+(** Adaptive Simpson integration of [f] over [[a, b]] with absolute
+    tolerance [eps].  Handles [a > b] by sign convention. *)
+
+val simpson_to_infinity :
+  f:(float -> float) -> a:float -> eps:float -> float
+(** Integral of [f] over [[a, +inf)], computed by mapping the tail through
+    [t = a + u / (1 - u)].  [f] must decay at least as fast as [1/t^2]. *)

@@ -1,0 +1,170 @@
+(* Lanczos approximation, g = 7, n = 9 coefficients. *)
+let lanczos_coefficients =
+  [|
+    0.99999999999980993;
+    676.5203681218851;
+    -1259.1392167224028;
+    771.32342877765313;
+    -176.61502916214059;
+    12.507343278686905;
+    -0.13857109526572012;
+    9.9843695780195716e-6;
+    1.5056327351493116e-7;
+  |]
+
+let rec log_gamma x =
+  if x <= 0.0 then invalid_arg "Special.log_gamma: nonpositive argument";
+  if x < 0.5 then
+    (* Reflection: Gamma(x) Gamma(1-x) = pi / sin(pi x). *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1.0 -. x)
+  else begin
+    let x = x -. 1.0 in
+    let a = ref lanczos_coefficients.(0) in
+    let t = x +. 7.5 in
+    for i = 1 to 8 do
+      a := !a +. (lanczos_coefficients.(i) /. (x +. float_of_int i))
+    done;
+    (0.5 *. log (2.0 *. Float.pi))
+    +. ((x +. 0.5) *. log t)
+    -. t
+    +. log !a
+  end
+
+(* Series representation of P(a,x), converges quickly for x < a + 1. *)
+let gamma_p_series ~a ~x =
+  let eps = 1e-15 in
+  let rec go ap sum del =
+    if Float.abs del <= Float.abs sum *. eps then sum
+    else
+      let ap = ap +. 1.0 in
+      let del = del *. x /. ap in
+      go ap (sum +. del) del
+  in
+  let sum = go a (1.0 /. a) (1.0 /. a) in
+  sum *. exp ((-.x) +. (a *. log x) -. log_gamma a)
+
+(* Continued fraction for Q(a,x) by modified Lentz, for x >= a + 1. *)
+let gamma_q_cf ~a ~x =
+  let eps = 1e-15 and fpmin = 1e-300 in
+  let b = ref (x +. 1.0 -. a) in
+  let c = ref (1.0 /. fpmin) in
+  let d = ref (1.0 /. !b) in
+  let h = ref !d in
+  let i = ref 1 in
+  let continue = ref true in
+  while !continue do
+    let an = -.float_of_int !i *. (float_of_int !i -. a) in
+    b := !b +. 2.0;
+    d := (an *. !d) +. !b;
+    if Float.abs !d < fpmin then d := fpmin;
+    c := !b +. (an /. !c);
+    if Float.abs !c < fpmin then c := fpmin;
+    d := 1.0 /. !d;
+    let del = !d *. !c in
+    h := !h *. del;
+    if Float.abs (del -. 1.0) <= eps then continue := false;
+    incr i;
+    if !i > 10_000 then continue := false
+  done;
+  exp ((-.x) +. (a *. log x) -. log_gamma a) *. !h
+
+let gamma_p ~a ~x =
+  if a <= 0.0 then invalid_arg "Special.gamma_p: a must be positive";
+  if x < 0.0 then invalid_arg "Special.gamma_p: x must be nonnegative";
+  if x = 0.0 then 0.0
+  else if x < a +. 1.0 then gamma_p_series ~a ~x
+  else 1.0 -. gamma_q_cf ~a ~x
+
+let gamma_q ~a ~x =
+  if a <= 0.0 then invalid_arg "Special.gamma_q: a must be positive";
+  if x < 0.0 then invalid_arg "Special.gamma_q: x must be nonnegative";
+  if x = 0.0 then 1.0
+  else if x < a +. 1.0 then 1.0 -. gamma_p_series ~a ~x
+  else gamma_q_cf ~a ~x
+
+let erf x =
+  if x = 0.0 then 0.0
+  else begin
+    let p = gamma_p ~a:0.5 ~x:(x *. x) in
+    if x > 0.0 then p else -.p
+  end
+
+let erfc x =
+  if x >= 0.0 then gamma_q ~a:0.5 ~x:(x *. x)
+  else 1.0 +. gamma_p ~a:0.5 ~x:(x *. x)
+
+(* Acklam's rational approximation to the normal quantile, then two
+   Halley refinement steps against the analytic cdf for near machine
+   precision. *)
+let normal_quantile p =
+  if not (p > 0.0 && p < 1.0) then
+    invalid_arg "Special.normal_quantile: argument must lie in (0, 1)";
+  let a =
+    [|
+      -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+      1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00;
+    |]
+  and b =
+    [|
+      -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+      6.680131188771972e+01; -1.328068155288572e+01;
+    |]
+  and c =
+    [|
+      -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+      -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00;
+    |]
+  and d =
+    [|
+      7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+      3.754408661907416e+00;
+    |]
+  in
+  let plow = 0.02425 in
+  let tail_value q =
+    let num =
+      ((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q
+       +. c.(4))
+       *. q)
+      +. c.(5)
+    in
+    let den =
+      (((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q) +. 1.0
+    in
+    num /. den
+  in
+  let x =
+    if p < plow then tail_value (sqrt (-2.0 *. log p))
+    else if p > 1.0 -. plow then -.tail_value (sqrt (-2.0 *. log (1.0 -. p)))
+    else begin
+      let q = p -. 0.5 in
+      let r = q *. q in
+      let num =
+        (((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r
+        +. a.(4))
+        *. r
+        +. a.(5)
+      in
+      let den =
+        ((((((b.(0) *. r) +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r
+         +. b.(4))
+         *. r)
+        +. 1.0
+      in
+      num *. q /. den
+    end
+  in
+  (* Halley refinement using cdf expressed with erfc (stable in tails). *)
+  let refine x =
+    let e = (0.5 *. erfc (-.x /. sqrt 2.0)) -. p in
+    let u = e *. sqrt (2.0 *. Float.pi) *. exp (x *. x /. 2.0) in
+    x -. (u /. (1.0 +. (x *. u /. 2.0)))
+  in
+  refine (refine x)
+
+let normal_cdf x = 0.5 *. erfc (-.x /. sqrt 2.0)
+
+let erf_inv p =
+  if not (p > -1.0 && p < 1.0) then
+    invalid_arg "Special.erf_inv: argument must lie in (-1, 1)";
+  if p = 0.0 then 0.0 else normal_quantile ((p +. 1.0) /. 2.0) /. sqrt 2.0

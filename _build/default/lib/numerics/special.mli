@@ -1,0 +1,35 @@
+(** Special functions needed by the model and the correlation-horizon
+    estimate: error function and its inverse (eq. 26 of the paper uses
+    [erf^-1]), the log-gamma function, and regularized incomplete gamma
+    functions (used for the Gamma marginal of the synthetic video trace).
+
+    All routines are pure OCaml, accurate to roughly 1e-12 relative error
+    over their useful ranges. *)
+
+val log_gamma : float -> float
+(** Natural log of the Gamma function for positive arguments (Lanczos). *)
+
+val gamma_p : a:float -> x:float -> float
+(** Regularized lower incomplete gamma function P(a, x) for [a > 0],
+    [x >= 0]. *)
+
+val gamma_q : a:float -> x:float -> float
+(** Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x). *)
+
+val erf : float -> float
+(** Error function. *)
+
+val erfc : float -> float
+(** Complementary error function, accurate in the far tail (no
+    cancellation). *)
+
+val erf_inv : float -> float
+(** Inverse error function on (-1, 1).  [erf (erf_inv p) = p] to near
+    machine precision.  @raise Invalid_argument outside (-1, 1). *)
+
+val normal_cdf : float -> float
+(** Standard normal cumulative distribution function. *)
+
+val normal_quantile : float -> float
+(** Inverse of {!normal_cdf} on (0, 1).
+    @raise Invalid_argument outside (0, 1). *)

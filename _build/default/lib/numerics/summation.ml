@@ -1,0 +1,25 @@
+type accumulator = { mutable sum : float; mutable compensation : float }
+
+let create () = { sum = 0.0; compensation = 0.0 }
+
+(* Neumaier's variant of Kahan summation: also compensates when the
+   running sum is smaller than the incoming term. *)
+let add acc x =
+  let t = acc.sum +. x in
+  if Float.abs acc.sum >= Float.abs x then
+    acc.compensation <- acc.compensation +. (acc.sum -. t +. x)
+  else acc.compensation <- acc.compensation +. (x -. t +. acc.sum);
+  acc.sum <- t
+
+let total acc = acc.sum +. acc.compensation
+
+let kahan_slice a ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length a then
+    invalid_arg "Summation.kahan_slice: slice out of bounds";
+  let acc = create () in
+  for i = pos to pos + len - 1 do
+    add acc a.(i)
+  done;
+  total acc
+
+let kahan a = kahan_slice a ~pos:0 ~len:(Array.length a)

@@ -1,0 +1,20 @@
+(** Compensated summation.
+
+    The solver iterates thousands of convolutions on probability vectors
+    whose entries span ten orders of magnitude (loss rates down to 1e-10
+    matter, per the paper's stopping rule), so plain left-to-right sums are
+    not good enough for the normalization and tail-mass accumulations. *)
+
+val kahan : float array -> float
+(** Kahan-Babuska (Neumaier) compensated sum of the whole array. *)
+
+val kahan_slice : float array -> pos:int -> len:int -> float
+(** Compensated sum of [len] elements starting at [pos].
+    @raise Invalid_argument on out-of-bounds slices. *)
+
+type accumulator
+(** Mutable compensated accumulator for streaming sums. *)
+
+val create : unit -> accumulator
+val add : accumulator -> float -> unit
+val total : accumulator -> float

@@ -1,0 +1,90 @@
+type filter = Haar | Daubechies4
+
+let filter_coefficients = function
+  | Haar ->
+      let s = 1.0 /. sqrt 2.0 in
+      [| s; s |]
+  | Daubechies4 ->
+      let r3 = sqrt 3.0 in
+      let norm = 4.0 *. sqrt 2.0 in
+      [|
+        (1.0 +. r3) /. norm;
+        (3.0 +. r3) /. norm;
+        (3.0 -. r3) /. norm;
+        (1.0 -. r3) /. norm;
+      |]
+
+(* Quadrature mirror: g_k = (-1)^k h_(L-1-k). *)
+let wavelet_coefficients filter =
+  let h = filter_coefficients filter in
+  let l = Array.length h in
+  Array.init l (fun k ->
+      let sign = if k land 1 = 0 then 1.0 else -1.0 in
+      sign *. h.(l - 1 - k))
+
+let dwt filter x =
+  let n = Array.length x in
+  let h = filter_coefficients filter in
+  let g = wavelet_coefficients filter in
+  let l = Array.length h in
+  if n < l || n land 1 = 1 then
+    invalid_arg "Wavelet.dwt: input length must be even and >= filter length";
+  let half = n / 2 in
+  let approx = Array.make half 0.0 and detail = Array.make half 0.0 in
+  for i = 0 to half - 1 do
+    let a = ref 0.0 and d = ref 0.0 in
+    for k = 0 to l - 1 do
+      let idx = ((2 * i) + k) mod n in
+      a := !a +. (h.(k) *. x.(idx));
+      d := !d +. (g.(k) *. x.(idx))
+    done;
+    approx.(i) <- !a;
+    detail.(i) <- !d
+  done;
+  (approx, detail)
+
+let idwt filter ~approx ~detail =
+  let half = Array.length approx in
+  if Array.length detail <> half then
+    invalid_arg "Wavelet.idwt: halves must have equal lengths";
+  let h = filter_coefficients filter in
+  let g = wavelet_coefficients filter in
+  let l = Array.length h in
+  let n = 2 * half in
+  let x = Array.make n 0.0 in
+  (* Transpose of the analysis operator (orthonormal => inverse). *)
+  for i = 0 to half - 1 do
+    for k = 0 to l - 1 do
+      let idx = ((2 * i) + k) mod n in
+      x.(idx) <- x.(idx) +. (h.(k) *. approx.(i)) +. (g.(k) *. detail.(i))
+    done
+  done;
+  x
+
+type decomposition = {
+  details : float array array;
+  approximation : float array;
+}
+
+let decompose ?(max_level = max_int) filter x =
+  let l = Array.length (filter_coefficients filter) in
+  let rec go current level acc =
+    let n = Array.length current in
+    if level >= max_level || n < 2 * l then
+      { details = Array.of_list (List.rev acc); approximation = current }
+    else begin
+      (* Drop a trailing odd sample so the split is exact. *)
+      let even = if n land 1 = 1 then Array.sub current 0 (n - 1) else current in
+      let approx, detail = dwt filter even in
+      go approx (level + 1) (detail :: acc)
+    end
+  in
+  go x 0 []
+
+let energy d =
+  if Array.length d = 0 then 0.0
+  else begin
+    let acc = Summation.create () in
+    Array.iter (fun v -> Summation.add acc (v *. v)) d;
+    Summation.total acc /. float_of_int (Array.length d)
+  end

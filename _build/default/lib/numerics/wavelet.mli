@@ -1,0 +1,40 @@
+(** Orthonormal discrete wavelet transforms (periodic boundary).
+
+    Haar and Daubechies-4 filter banks.  The D4 wavelet has two
+    vanishing moments: its detail coefficients annihilate linear trends,
+    which makes wavelet-based Hurst estimation robust to the slow
+    deterministic drifts that plague variance-time and R/S estimators —
+    the property Abry & Veitch (cited by the paper for its H values)
+    rely on. *)
+
+type filter = Haar | Daubechies4
+
+val filter_coefficients : filter -> float array
+(** The scaling (low-pass) filter taps; the wavelet (high-pass) taps are
+    the usual quadrature mirror [g_k = (-1)^k h_(L-1-k)]. *)
+
+val dwt : filter -> float array -> float array * float array
+(** One level of the periodic DWT: [(approximation, detail)], each of
+    half the input length.  @raise Invalid_argument unless the input
+    length is even and at least the filter length. *)
+
+val idwt : filter -> approx:float array -> detail:float array -> float array
+(** Inverse of {!dwt}: exact reconstruction up to rounding.
+    @raise Invalid_argument on mismatched halves. *)
+
+type decomposition = {
+  details : float array array;
+      (** [details.(j)] are the detail (wavelet) coefficients of octave
+          [j + 1] (finest first). *)
+  approximation : float array;  (** The remaining coarse approximation. *)
+}
+
+val decompose : ?max_level:int -> filter -> float array -> decomposition
+(** Full pyramid: repeatedly split the approximation while at least
+    [2 * filter length] samples remain (or until [max_level] octaves).
+    Input length need not be a power of two — a trailing odd sample is
+    dropped at each level (standard practice for analysis use). *)
+
+val energy : float array -> float
+(** Mean of squares — the per-octave statistic of the Abry–Veitch
+    estimator. *)

@@ -1,0 +1,1 @@
+lib/packet/arrivals.ml: Array Float Fun Lrd_rng Lrd_trace Seq

@@ -1,0 +1,1 @@
+lib/packet/arrivals.mli: Lrd_rng Lrd_trace Seq

@@ -1,0 +1,1 @@
+lib/packet/packet_queue.ml: Arrivals Float Lrd_numerics Seq

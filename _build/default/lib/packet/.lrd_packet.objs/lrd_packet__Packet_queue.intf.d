@@ -1,0 +1,1 @@
+lib/packet/packet_queue.mli: Arrivals Seq

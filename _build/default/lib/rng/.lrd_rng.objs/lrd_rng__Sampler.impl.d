@@ -1,0 +1,1 @@
+lib/rng/sampler.ml: Array Float Lrd_numerics Queue Rng

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generation with explicit state.
+
+    All stochastic code in this repository (trace generation, shuffling,
+    Monte Carlo cross-checks) draws from this module so that every
+    experiment is reproducible from a seed.  The generator is
+    xoshiro256**, seeded through SplitMix64 as its authors recommend. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> t
+(** Fresh generator deterministically derived from [seed]. *)
+
+val split : t -> t
+(** A new generator whose stream is independent of (and deterministically
+    derived from) the current state of [t].  Advances [t]. *)
+
+val copy : t -> t
+(** Snapshot of the current state. *)
+
+val uint64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform on \[0, 1): 53-bit mantissa resolution. *)
+
+val float_pos : t -> float
+(** Uniform on (0, 1): never returns 0, safe for [log]. *)
+
+val int : t -> bound:int -> int
+(** Uniform on \[0, bound): rejection sampling, unbiased.
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool

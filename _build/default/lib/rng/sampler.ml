@@ -1,0 +1,88 @@
+let uniform rng ~lo ~hi = lo +. ((hi -. lo) *. Rng.float rng)
+
+let exponential rng ~rate =
+  if rate <= 0.0 then invalid_arg "Sampler.exponential: rate must be positive";
+  -.log (Rng.float_pos rng) /. rate
+
+let pareto rng ~theta ~alpha =
+  if theta <= 0.0 || alpha <= 0.0 then
+    invalid_arg "Sampler.pareto: parameters must be positive";
+  (* Invert the ccdf ((t + theta)/theta)^-alpha = u. *)
+  let u = Rng.float_pos rng in
+  theta *. ((u ** (-1.0 /. alpha)) -. 1.0)
+
+let truncated_pareto rng ~theta ~alpha ~cutoff =
+  if cutoff <= 0.0 then
+    invalid_arg "Sampler.truncated_pareto: cutoff must be positive";
+  Float.min (pareto rng ~theta ~alpha) cutoff
+
+let normal rng ~mean ~std =
+  let u1 = Rng.float_pos rng and u2 = Rng.float rng in
+  mean +. (std *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let rec gamma rng ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then
+    invalid_arg "Sampler.gamma: parameters must be positive";
+  if shape < 1.0 then begin
+    (* Boost: X(a) = X(a+1) * U^(1/a). *)
+    let x = gamma rng ~shape:(shape +. 1.0) ~scale in
+    let u = Rng.float_pos rng in
+    x *. (u ** (1.0 /. shape))
+  end
+  else begin
+    let d = shape -. (1.0 /. 3.0) in
+    let c = 1.0 /. sqrt (9.0 *. d) in
+    let rec go () =
+      let x = normal rng ~mean:0.0 ~std:1.0 in
+      let v = 1.0 +. (c *. x) in
+      if v <= 0.0 then go ()
+      else begin
+        let v = v *. v *. v in
+        let u = Rng.float_pos rng in
+        let x2 = x *. x in
+        if
+          u < 1.0 -. (0.0331 *. x2 *. x2)
+          || log u < (0.5 *. x2) +. (d *. (1.0 -. v +. log v))
+        then d *. v
+        else go ()
+      end
+    in
+    scale *. go ()
+  end
+
+let lognormal rng ~mu ~sigma = exp (normal rng ~mean:mu ~std:sigma)
+
+type discrete = { probabilities : float array; aliases : int array }
+
+let discrete_of_weights weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Sampler.discrete_of_weights: empty weights";
+  Array.iter
+    (fun w ->
+      if not (w >= 0.0) then
+        invalid_arg "Sampler.discrete_of_weights: negative or NaN weight")
+    weights;
+  let total = Lrd_numerics.Summation.kahan weights in
+  if not (total > 0.0) then
+    invalid_arg "Sampler.discrete_of_weights: weights must sum to > 0";
+  let scaled = Array.map (fun w -> w *. float_of_int n /. total) weights in
+  let probabilities = Array.make n 1.0 in
+  let aliases = Array.init n (fun i -> i) in
+  let small = Queue.create () and large = Queue.create () in
+  Array.iteri
+    (fun i p -> if p < 1.0 then Queue.add i small else Queue.add i large)
+    scaled;
+  while (not (Queue.is_empty small)) && not (Queue.is_empty large) do
+    let s = Queue.pop small and l = Queue.pop large in
+    probabilities.(s) <- scaled.(s);
+    aliases.(s) <- l;
+    scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.0;
+    if scaled.(l) < 1.0 then Queue.add l small else Queue.add l large
+  done;
+  (* Whatever remains has probability numerically equal to 1. *)
+  { probabilities; aliases }
+
+let discrete_draw rng d =
+  let n = Array.length d.probabilities in
+  let i = Rng.int rng ~bound:n in
+  if Rng.float rng < d.probabilities.(i) then i else d.aliases.(i)

@@ -1,0 +1,43 @@
+(** Random variate generation on top of {!Rng}.
+
+    These samplers feed the Monte Carlo cross-checks of the analytic
+    solver and the synthetic trace generators (Gamma marginals for the
+    video trace, Pareto on/off periods for the Ethernet trace). *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+(** Uniform on [[lo, hi)]. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** Exponential with the given rate (mean [1/rate]).
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val pareto : Rng.t -> theta:float -> alpha:float -> float
+(** Shifted Pareto with ccdf [((t + theta)/theta)^-alpha] on [t >= 0]
+    (the paper's eq. 6 with no cutoff).
+    @raise Invalid_argument unless [theta > 0 && alpha > 0]. *)
+
+val truncated_pareto :
+  Rng.t -> theta:float -> alpha:float -> cutoff:float -> float
+(** The paper's truncated Pareto: [min (pareto theta alpha) cutoff], with
+    an atom at [cutoff]. *)
+
+val normal : Rng.t -> mean:float -> std:float -> float
+(** Gaussian via Box-Muller (no state caching, so sequences stay
+    reproducible under [Rng.copy]). *)
+
+val gamma : Rng.t -> shape:float -> scale:float -> float
+(** Gamma via Marsaglia-Tsang squeeze; handles [shape < 1] by boosting.
+    @raise Invalid_argument unless both parameters are positive. *)
+
+val lognormal : Rng.t -> mu:float -> sigma:float -> float
+
+type discrete
+(** Sampler for a finite discrete distribution (Walker alias method,
+    O(1) per draw). *)
+
+val discrete_of_weights : float array -> discrete
+(** Builds the alias table.  Weights must be nonnegative with a positive
+    sum.  @raise Invalid_argument otherwise. *)
+
+val discrete_draw : Rng.t -> discrete -> int
+(** Index distributed proportionally to the weights. *)

@@ -1,0 +1,1 @@
+lib/stats/autocorr.ml: Array Array_ops Fft Lrd_numerics Summation

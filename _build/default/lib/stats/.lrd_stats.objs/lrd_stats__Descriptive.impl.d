@@ -1,0 +1,1 @@
+lib/stats/descriptive.ml: Array Array_ops Float Lrd_numerics Summation

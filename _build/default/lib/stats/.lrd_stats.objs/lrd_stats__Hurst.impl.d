@@ -1,0 +1,1 @@
+lib/stats/hurst.ml: Array Descriptive Float Hashtbl List Lrd_numerics Option

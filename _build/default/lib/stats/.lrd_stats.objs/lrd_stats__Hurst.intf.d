@@ -1,0 +1,1 @@
+lib/stats/hurst.mli: Lrd_numerics

@@ -1,0 +1,1 @@
+lib/stats/spectral.ml: Array Float Lrd_numerics

@@ -1,0 +1,1 @@
+lib/stats/stationarity.ml: Array Batch_means Descriptive Float Lrd_numerics Lrd_rng

@@ -1,0 +1,1 @@
+lib/stats/stationarity.mli: Lrd_rng

@@ -1,0 +1,1 @@
+lib/stats/whittle.ml: Array Float Lrd_numerics Option

@@ -1,0 +1,42 @@
+open Lrd_numerics
+
+let check a ~max_lag =
+  let n = Array.length a in
+  if max_lag < 0 then invalid_arg "Autocorr: max_lag must be nonnegative";
+  if max_lag >= n then invalid_arg "Autocorr: max_lag must be below length"
+
+let autocovariance_direct a ~max_lag =
+  check a ~max_lag;
+  let n = Array.length a in
+  let m = Array_ops.mean a in
+  Array.init (max_lag + 1) (fun k ->
+      let acc = Summation.create () in
+      for i = 0 to n - 1 - k do
+        Summation.add acc ((a.(i) -. m) *. (a.(i + k) -. m))
+      done;
+      Summation.total acc /. float_of_int n)
+
+let autocovariance a ~max_lag =
+  check a ~max_lag;
+  let n = Array.length a in
+  let m = Array_ops.mean a in
+  (* Wiener-Khinchin: |FFT(x - m)|^2, inverse-transformed.  Zero padding
+     to >= 2n turns the circular correlation into the linear one. *)
+  let size = Fft.next_power_of_two (2 * n) in
+  let re = Array.make size 0.0 and im = Array.make size 0.0 in
+  for i = 0 to n - 1 do
+    re.(i) <- a.(i) -. m
+  done;
+  Fft.forward ~re ~im;
+  for i = 0 to size - 1 do
+    re.(i) <- (re.(i) *. re.(i)) +. (im.(i) *. im.(i));
+    im.(i) <- 0.0
+  done;
+  Fft.inverse ~re ~im;
+  Array.init (max_lag + 1) (fun k -> re.(k) /. float_of_int n)
+
+let autocorrelation a ~max_lag =
+  let acv = autocovariance a ~max_lag in
+  if acv.(0) <= 0.0 then
+    invalid_arg "Autocorr.autocorrelation: constant series";
+  Array.map (fun v -> v /. acv.(0)) acv

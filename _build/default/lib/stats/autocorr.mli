@@ -1,0 +1,19 @@
+(** Empirical autocovariance and autocorrelation.
+
+    Used to verify that (a) the model's rate process has the covariance of
+    eq. 8, (b) external shuffling kills correlation beyond the block
+    length (Fig. 6), and (c) synthetic traces carry the intended LRD. *)
+
+val autocovariance : float array -> max_lag:int -> float array
+(** Biased estimator [g(k) = (1/n) sum (x_i - m)(x_{i+k} - m)] for
+    [k = 0 .. max_lag], computed in O(n log n) via the FFT (Wiener-
+    Khinchin).  The biased (1/n) normalization keeps the estimated
+    covariance sequence positive semi-definite.
+    @raise Invalid_argument if [max_lag < 0] or [max_lag >= length]. *)
+
+val autocovariance_direct : float array -> max_lag:int -> float array
+(** O(n * max_lag) reference implementation (test oracle). *)
+
+val autocorrelation : float array -> max_lag:int -> float array
+(** Autocovariance normalized by lag 0; [r.(0) = 1].
+    @raise Invalid_argument additionally when the series is constant. *)

@@ -1,0 +1,60 @@
+type interval = {
+  estimate : float;
+  half_width : float;
+  batches : int;
+  batch_length : int;
+}
+
+let check ~batches n =
+  if batches < 2 then invalid_arg "Batch_means: need at least 2 batches";
+  let batch_length = n / batches in
+  if batch_length < 2 then
+    invalid_arg "Batch_means: need at least 2 samples per batch";
+  batch_length
+
+let interval_of_batch_values values ~confidence ~batch_length =
+  let k = Array.length values in
+  let mean = Lrd_numerics.Array_ops.mean values in
+  let spread = Descriptive.sample_variance values /. float_of_int k in
+  let z =
+    Lrd_numerics.Special.normal_quantile (1.0 -. ((1.0 -. confidence) /. 2.0))
+  in
+  {
+    estimate = mean;
+    half_width = z *. sqrt spread;
+    batches = k;
+    batch_length;
+  }
+
+let mean_interval ?(batches = 16) ?(confidence = 0.95) a =
+  if not (confidence > 0.0 && confidence < 1.0) then
+    invalid_arg "Batch_means: confidence must lie in (0, 1)";
+  let batch_length = check ~batches (Array.length a) in
+  let values =
+    Array.init batches (fun b ->
+        Lrd_numerics.Summation.kahan_slice a ~pos:(b * batch_length)
+          ~len:batch_length
+        /. float_of_int batch_length)
+  in
+  interval_of_batch_values values ~confidence ~batch_length
+
+let loss_rate_interval ?(batches = 16) ?(confidence = 0.95) ~losses ~arrivals
+    () =
+  if Array.length losses <> Array.length arrivals then
+    invalid_arg "Batch_means.loss_rate_interval: mismatched lengths";
+  if not (confidence > 0.0 && confidence < 1.0) then
+    invalid_arg "Batch_means: confidence must lie in (0, 1)";
+  let batch_length = check ~batches (Array.length losses) in
+  let values =
+    Array.init batches (fun b ->
+        let lost =
+          Lrd_numerics.Summation.kahan_slice losses ~pos:(b * batch_length)
+            ~len:batch_length
+        in
+        let arrived =
+          Lrd_numerics.Summation.kahan_slice arrivals ~pos:(b * batch_length)
+            ~len:batch_length
+        in
+        if arrived > 0.0 then lost /. arrived else 0.0)
+  in
+  interval_of_batch_values values ~confidence ~batch_length

@@ -1,0 +1,39 @@
+(** Batch-means confidence intervals for time-average estimates.
+
+    Trace-driven loss rates are time averages of strongly correlated
+    data; naive i.i.d. standard errors understate the uncertainty
+    dramatically under LRD (the variance of the sample mean decays like
+    [n^(2H-2)], not [1/n]).  The batch-means method divides the series
+    into [k] contiguous batches, treats the batch means as approximately
+    independent, and reads the standard error from their spread —
+    adequate once batches are longer than the correlation that matters
+    (the correlation horizon, for queueing functionals). *)
+
+type interval = {
+  estimate : float;  (** Overall mean. *)
+  half_width : float;  (** Half-width of the confidence interval. *)
+  batches : int;  (** Number of batches actually used. *)
+  batch_length : int;  (** Samples per batch. *)
+}
+
+val mean_interval :
+  ?batches:int -> ?confidence:float -> float array -> interval
+(** Confidence interval for the mean of the series from [batches]
+    batches (default 16) at the given [confidence] level (default 0.95,
+    normal quantile — adequate for >= 10 batches).  Trailing samples
+    that do not fill a batch are dropped.
+    @raise Invalid_argument for fewer than 2 samples per batch or
+    [batches < 2]. *)
+
+val loss_rate_interval :
+  ?batches:int ->
+  ?confidence:float ->
+  losses:float array ->
+  arrivals:float array ->
+  unit ->
+  interval
+(** Confidence interval for a ratio-of-sums functional
+    [sum losses / sum arrivals] (the loss rate): each batch contributes
+    its own ratio, combined by the batch-means recipe weighted equally
+    (batches have equal length, so equal weighting is the standard
+    choice).  @raise Invalid_argument on mismatched lengths. *)

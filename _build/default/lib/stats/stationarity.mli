@@ -1,0 +1,47 @@
+(** Stationarity diagnostics: LRD or disguised nonstationarity?
+
+    The paper's Introduction recounts the long-running debate (Klemes;
+    Bhattacharya et al.; Duffield et al.; Grasse et al.): measured
+    "long-range dependence" can be indistinguishable from a short-memory
+    process overlaid with level shifts or trends, and no test settles
+    the matter from a single realization.  These tools implement the
+    standard diagnostics used to argue each side:
+
+    - {!phase_randomized_surrogate}: a surrogate series with the same
+      periodogram (hence the same second-order structure, including any
+      LRD) but randomized phases — genuine linear LRD survives, while
+      structure tied to phase alignment (e.g. a single level shift)
+      is dispersed;
+    - {!cusum}: the classic CUSUM mean-shift statistic, normalized so
+      that its null distribution under short-memory stationarity is the
+      Brownian-bridge sup (Kolmogorov); under LRD the normalization is
+      known to over-reject, which is exactly the ambiguity the paper
+      describes;
+    - {!split_half_mean_shift}: the mean difference between trace halves
+      in units of the batch-means standard error. *)
+
+val phase_randomized_surrogate :
+  Lrd_rng.Rng.t -> float array -> float array
+(** Surrogate with the same length, mean, and (circular) periodogram,
+    but i.i.d. uniform phases.  The result is real-valued by conjugate-
+    symmetric phase assignment.  The input is zero-padded to a power of
+    two internally and truncated back, which slightly blurs the very
+    lowest frequencies for non-power-of-two lengths. *)
+
+type cusum_result = {
+  statistic : float;
+      (** [max_k |S_k - (k/n) S_n| / (sigma sqrt n)] with [sigma] the
+          sample standard deviation. *)
+  change_point : int;  (** Index attaining the maximum. *)
+  critical_5pct : float;
+      (** 5% critical value of the Brownian-bridge sup (1.358) — valid
+          under short-memory stationarity only. *)
+}
+
+val cusum : float array -> cusum_result
+(** @raise Invalid_argument on constant or too-short (< 16) series. *)
+
+val split_half_mean_shift : ?batches:int -> float array -> float
+(** Mean difference between the two halves divided by the combined
+    batch-means standard error of that difference: a z-score that
+    accounts for within-half correlation at the batch scale. *)

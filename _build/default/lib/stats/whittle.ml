@@ -1,0 +1,78 @@
+type fit = {
+  hurst : float;
+  memory : float;
+  frequencies : int;
+  objective : float;
+}
+
+(* Golden-section search for the minimum of a unimodal function. *)
+let golden_minimize ~f ~lo ~hi ~eps =
+  let phi = (sqrt 5.0 -. 1.0) /. 2.0 in
+  let a = ref lo and b = ref hi in
+  let c = ref (hi -. (phi *. (hi -. lo))) in
+  let d = ref (lo +. (phi *. (hi -. lo))) in
+  let fc = ref (f !c) and fd = ref (f !d) in
+  while !b -. !a > eps do
+    if !fc < !fd then begin
+      (* Minimum in [a, d]: d becomes the right edge, c the new d. *)
+      b := !d;
+      d := !c;
+      fd := !fc;
+      c := !b -. (phi *. (!b -. !a));
+      fc := f !c
+    end
+    else begin
+      a := !c;
+      c := !d;
+      fc := !fd;
+      d := !a +. (phi *. (!b -. !a));
+      fd := f !d
+    end
+  done;
+  (!a +. !b) /. 2.0
+
+let local_whittle ?frequencies a =
+  let n = Array.length a in
+  if n < 64 then invalid_arg "Whittle.local_whittle: series too short";
+  let m_default = int_of_float (float_of_int n ** 0.65) in
+  let size = Lrd_numerics.Fft.next_power_of_two n in
+  let mean = Lrd_numerics.Array_ops.mean a in
+  let re = Array.make size 0.0 and im = Array.make size 0.0 in
+  for i = 0 to n - 1 do
+    re.(i) <- a.(i) -. mean
+  done;
+  Lrd_numerics.Fft.forward ~re ~im;
+  let m =
+    let requested = Option.value frequencies ~default:m_default in
+    max 8 (min requested ((size / 2) - 1))
+  in
+  let omega =
+    Array.init m (fun j ->
+        2.0 *. Float.pi *. float_of_int (j + 1) /. float_of_int size)
+  in
+  let spectrum =
+    Array.init m (fun j ->
+        let k = j + 1 in
+        ((re.(k) *. re.(k)) +. (im.(k) *. im.(k)))
+        /. (2.0 *. Float.pi *. float_of_int n))
+  in
+  let log_omega = Array.map log omega in
+  let mean_log_omega = Lrd_numerics.Array_ops.mean log_omega in
+  (* Robinson's profile objective R(d). *)
+  let objective d =
+    let acc = Lrd_numerics.Summation.create () in
+    Array.iteri
+      (fun j i_j ->
+        Lrd_numerics.Summation.add acc
+          (exp (2.0 *. d *. log_omega.(j)) *. Float.max i_j 1e-300))
+      spectrum;
+    log (Lrd_numerics.Summation.total acc /. float_of_int m)
+    -. (2.0 *. d *. mean_log_omega)
+  in
+  let memory = golden_minimize ~f:objective ~lo:(-0.49) ~hi:0.99 ~eps:1e-8 in
+  {
+    hurst = memory +. 0.5;
+    memory;
+    frequencies = m;
+    objective = objective memory;
+  }

@@ -1,0 +1,1 @@
+lib/trace/epochs.ml: Array Histogram List Trace

@@ -1,0 +1,1 @@
+lib/trace/epochs.mli: Histogram Trace

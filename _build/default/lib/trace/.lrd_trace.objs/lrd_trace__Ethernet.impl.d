@@ -1,0 +1,1 @@
+lib/trace/ethernet.ml: List Onoff

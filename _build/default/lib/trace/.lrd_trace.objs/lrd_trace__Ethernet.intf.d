@@ -1,0 +1,1 @@
+lib/trace/ethernet.mli: Lrd_rng Trace

@@ -1,0 +1,1 @@
+lib/trace/farima.mli: Lrd_rng

@@ -1,0 +1,1 @@
+lib/trace/fgn.ml: Array Float Lrd_numerics Lrd_rng

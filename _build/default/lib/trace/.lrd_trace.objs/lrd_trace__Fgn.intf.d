@@ -1,0 +1,1 @@
+lib/trace/fgn.mli: Lrd_rng

@@ -1,0 +1,1 @@
+lib/trace/histogram.ml: Array List Lrd_dist Lrd_numerics Trace

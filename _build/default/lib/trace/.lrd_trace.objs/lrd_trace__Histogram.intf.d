@@ -1,0 +1,1 @@
+lib/trace/histogram.mli: Lrd_dist Trace

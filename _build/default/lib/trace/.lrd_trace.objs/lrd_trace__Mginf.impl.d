@@ -1,0 +1,1 @@
+lib/trace/mginf.ml: Array Float Lrd_rng Trace

@@ -1,0 +1,1 @@
+lib/trace/mginf.mli: Lrd_rng Trace

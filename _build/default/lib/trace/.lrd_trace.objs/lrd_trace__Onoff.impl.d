@@ -1,0 +1,1 @@
+lib/trace/onoff.ml: Array Float List Lrd_dist Lrd_rng Trace

@@ -1,0 +1,1 @@
+lib/trace/onoff.mli: Lrd_dist Lrd_rng Trace

@@ -1,0 +1,1 @@
+lib/trace/shuffle.ml: Array Lrd_rng Trace

@@ -1,0 +1,1 @@
+lib/trace/shuffle.mli: Lrd_rng Trace

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Float Lrd_numerics

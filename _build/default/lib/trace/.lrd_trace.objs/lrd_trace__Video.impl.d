@@ -1,0 +1,1 @@
+lib/trace/video.ml: Array Fgn Float Lrd_dist Lrd_numerics Lrd_rng Trace

@@ -1,0 +1,1 @@
+lib/trace/video.mli: Lrd_rng Trace

@@ -1,0 +1,25 @@
+let run_lengths h trace =
+  let rates = trace.Trace.rates in
+  let n = Array.length rates in
+  let runs = ref [] in
+  let current_bin = ref (Histogram.bin_index h rates.(0)) in
+  let current_len = ref 1 in
+  for i = 1 to n - 1 do
+    let b = Histogram.bin_index h rates.(i) in
+    if b = !current_bin then incr current_len
+    else begin
+      runs := !current_len :: !runs;
+      current_bin := b;
+      current_len := 1
+    end
+  done;
+  runs := !current_len :: !runs;
+  Array.of_list (List.rev !runs)
+
+let mean_run_length h trace =
+  let runs = run_lengths h trace in
+  float_of_int (Array.fold_left ( + ) 0 runs) /. float_of_int (Array.length runs)
+
+let mean_epoch_duration ?bins trace =
+  let h = Histogram.of_trace ?bins trace in
+  mean_run_length h trace *. trace.Trace.slot

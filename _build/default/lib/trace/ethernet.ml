@@ -1,0 +1,33 @@
+type params = {
+  slots : int;
+  slot : float;
+  sources : int;
+  peak_rate : float;
+  mean_on : float;
+  mean_off : float;
+  alpha_on : float;
+  alpha_off : float;
+}
+
+let bellcore_like =
+  {
+    slots = 360_000;
+    slot = 0.010;
+    sources = 30;
+    peak_rate = 1.0;
+    mean_on = 0.030;
+    mean_off = 0.570;
+    alpha_on = 1.2;
+    alpha_off = 1.5;
+  }
+
+let generate ?(params = bellcore_like) rng =
+  let src =
+    Onoff.pareto_source ~peak_rate:params.peak_rate ~mean_on:params.mean_on
+      ~mean_off:params.mean_off ~alpha_on:params.alpha_on
+      ~alpha_off:params.alpha_off
+  in
+  let sources = List.init params.sources (fun _ -> src) in
+  Onoff.generate rng ~sources ~slots:params.slots ~slot:params.slot
+
+let generate_short rng ~n = generate ~params:{ bellcore_like with slots = n } rng

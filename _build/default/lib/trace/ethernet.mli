@@ -1,0 +1,32 @@
+(** Synthetic Ethernet trace: the stand-in for the paper's Bellcore
+    "purple cable" August 1989 trace.
+
+    The published analysis of that trace (Leland et al.) established
+    [H ~ 0.9] and a highly bursty, right-skewed marginal; the paper
+    additionally measures a mean rate-residence epoch of about 15 ms at
+    10 ms slots.  Here the trace is built the way Willinger et al. showed
+    such traffic arises physically: a superposition of on/off sources
+    with heavy-tailed (Pareto, index [alpha = 3 - 2H = 1.2]) on-periods.
+    Only the marginal histogram, the epoch statistic and [H] feed the
+    experiments, so the construction is a faithful substitute. *)
+
+type params = {
+  slots : int;  (** Number of 10 ms samples. *)
+  slot : float;  (** Slot length in seconds. *)
+  sources : int;  (** Number of superposed on/off sources. *)
+  peak_rate : float;  (** Per-source ON rate (Mb/s). *)
+  mean_on : float;  (** Mean ON period (s). *)
+  mean_off : float;  (** Mean OFF period (s). *)
+  alpha_on : float;  (** Pareto index of ON periods ([H = (3-a)/2]). *)
+  alpha_off : float;  (** Pareto index of OFF periods. *)
+}
+
+val bellcore_like : params
+(** Defaults producing an H ~ 0.9 aggregate: 360 000 slots (one hour) of
+    10 ms, 30 sources at 1 Mb/s peak, mean ON 30 ms (alpha 1.2), mean OFF
+    570 ms (alpha 1.5) — about 5% duty cycle per source. *)
+
+val generate : ?params:params -> Lrd_rng.Rng.t -> Trace.t
+
+val generate_short : Lrd_rng.Rng.t -> n:int -> Trace.t
+(** Shorter trace with the same per-slot statistics (for tests). *)

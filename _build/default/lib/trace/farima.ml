@@ -1,0 +1,68 @@
+let check_d d =
+  if not (d >= 0.0 && d < 0.5) then
+    invalid_arg "Farima: d must lie in [0, 0.5)"
+
+let memory_of_hurst h =
+  if not (h > 0.5 && h < 1.0) then
+    invalid_arg "Farima.memory_of_hurst: H must lie in (0.5, 1)";
+  h -. 0.5
+
+(* rho(k) = prod_{i=1..k} (i - 1 + d) / (i - d). *)
+let autocorrelation ~d k =
+  check_d d;
+  let k = abs k in
+  let rec go i acc =
+    if i > k then acc
+    else
+      go (i + 1) (acc *. (float_of_int i -. 1.0 +. d) /. (float_of_int i -. d))
+  in
+  go 1 1.0
+
+let variance ~d =
+  check_d d;
+  exp
+    (Lrd_numerics.Special.log_gamma (1.0 -. (2.0 *. d))
+    -. (2.0 *. Lrd_numerics.Special.log_gamma (1.0 -. d)))
+
+let generate rng ~d ~n =
+  check_d d;
+  if n <= 0 then invalid_arg "Farima.generate: n must be positive";
+  let sigma2 = variance ~d in
+  let m = Lrd_numerics.Fft.next_power_of_two (2 * n) in
+  let half = m / 2 in
+  (* Autocovariance by the stable ratio recurrence, filled out to the
+     circulant embedding. *)
+  let acv = Array.make (half + 1) sigma2 in
+  for k = 1 to half do
+    acv.(k) <-
+      acv.(k - 1) *. (float_of_int k -. 1.0 +. d) /. (float_of_int k -. d)
+  done;
+  let c_re = Array.make m 0.0 and c_im = Array.make m 0.0 in
+  for k = 0 to m - 1 do
+    let lag = if k <= half then k else m - k in
+    c_re.(k) <- acv.(lag)
+  done;
+  Lrd_numerics.Fft.forward ~re:c_re ~im:c_im;
+  let eigen =
+    Array.map
+      (fun v ->
+        if v < -1e-8 *. sigma2 then
+          invalid_arg "Farima.generate: embedding not nonnegative definite"
+        else Float.max v 0.0)
+      c_re
+  in
+  let a_re = Array.make m 0.0 and a_im = Array.make m 0.0 in
+  let fm = float_of_int m in
+  let gaussian () = Lrd_rng.Sampler.normal rng ~mean:0.0 ~std:1.0 in
+  a_re.(0) <- sqrt (eigen.(0) /. fm) *. gaussian ();
+  a_re.(half) <- sqrt (eigen.(half) /. fm) *. gaussian ();
+  for k = 1 to half - 1 do
+    let scale = sqrt (eigen.(k) /. (2.0 *. fm)) in
+    let g1 = gaussian () and g2 = gaussian () in
+    a_re.(k) <- scale *. g1;
+    a_im.(k) <- scale *. g2;
+    a_re.(m - k) <- scale *. g1;
+    a_im.(m - k) <- -.(scale *. g2)
+  done;
+  Lrd_numerics.Fft.forward ~re:a_re ~im:a_im;
+  Array.sub a_re 0 n

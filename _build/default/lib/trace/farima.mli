@@ -1,0 +1,28 @@
+(** FARIMA(0, d, 0) — fractionally integrated white noise.
+
+    The other canonical exactly-LRD Gaussian process besides fGn: white
+    noise passed through the fractional difference operator
+    [(1 - B)^(-d)], [0 < d < 1/2], giving autocorrelation
+
+    [rho(k) = prod_(i=1..k) (i - 1 + d) / (i - d) ~ k^(2d - 1)]
+
+    so [H = d + 1/2].  Unlike fGn, FARIMA extends naturally to
+    short-range ARMA structure; here the pure (0, d, 0) case is
+    generated exactly by circulant embedding of the closed-form
+    autocovariance — the same Davies-Harte machinery as {!Fgn}. *)
+
+val memory_of_hurst : float -> float
+(** [d = H - 1/2].  @raise Invalid_argument unless [0.5 < H < 1]. *)
+
+val autocorrelation : d:float -> int -> float
+(** Closed-form [rho(k)], [rho(0) = 1].
+    @raise Invalid_argument unless [0 <= d < 0.5]. *)
+
+val variance : d:float -> float
+(** Process variance for unit innovation variance:
+    [Gamma(1 - 2d) / Gamma(1 - d)^2]. *)
+
+val generate : Lrd_rng.Rng.t -> d:float -> n:int -> float array
+(** [n] samples of zero-mean FARIMA(0, d, 0) with unit innovation
+    variance, by circulant embedding.
+    @raise Invalid_argument unless [0 <= d < 0.5] and [n > 0]. *)

@@ -1,0 +1,76 @@
+let check_hurst hurst =
+  if not (hurst > 0.0 && hurst < 1.0) then
+    invalid_arg "Fgn: hurst must lie in (0, 1)"
+
+let autocovariance ~hurst k =
+  check_hurst hurst;
+  let k = Float.abs (float_of_int k) in
+  let h2 = 2.0 *. hurst in
+  0.5 *. (((k +. 1.0) ** h2) -. (2.0 *. (k ** h2)) +. (Float.abs (k -. 1.0) ** h2))
+
+let davies_harte rng ~hurst ~n =
+  check_hurst hurst;
+  if n <= 0 then invalid_arg "Fgn.davies_harte: n must be positive";
+  let m = Lrd_numerics.Fft.next_power_of_two (2 * n) in
+  let half = m / 2 in
+  (* First row of the circulant embedding of the covariance matrix. *)
+  let c_re = Array.make m 0.0 and c_im = Array.make m 0.0 in
+  for k = 0 to m - 1 do
+    let lag = if k <= half then k else m - k in
+    c_re.(k) <- autocovariance ~hurst lag
+  done;
+  Lrd_numerics.Fft.forward ~re:c_re ~im:c_im;
+  (* Eigenvalues of the circulant; nonnegative for fGn up to rounding. *)
+  let eigen =
+    Array.map
+      (fun v ->
+        if v < -1e-8 then
+          invalid_arg "Fgn.davies_harte: embedding not nonnegative definite"
+        else Float.max v 0.0)
+      c_re
+  in
+  let a_re = Array.make m 0.0 and a_im = Array.make m 0.0 in
+  let fm = float_of_int m in
+  let gaussian () = Lrd_rng.Sampler.normal rng ~mean:0.0 ~std:1.0 in
+  a_re.(0) <- sqrt (eigen.(0) /. fm) *. gaussian ();
+  a_re.(half) <- sqrt (eigen.(half) /. fm) *. gaussian ();
+  for k = 1 to half - 1 do
+    let scale = sqrt (eigen.(k) /. (2.0 *. fm)) in
+    let g1 = gaussian () and g2 = gaussian () in
+    a_re.(k) <- scale *. g1;
+    a_im.(k) <- scale *. g2;
+    a_re.(m - k) <- scale *. g1;
+    a_im.(m - k) <- -.(scale *. g2)
+  done;
+  Lrd_numerics.Fft.forward ~re:a_re ~im:a_im;
+  Array.sub a_re 0 n
+
+let hosking rng ~hurst ~n =
+  check_hurst hurst;
+  if n <= 0 then invalid_arg "Fgn.hosking: n must be positive";
+  let gamma = Array.init (n + 1) (fun k -> autocovariance ~hurst k) in
+  let out = Array.make n 0.0 in
+  let phi = Array.make n 0.0 and phi_prev = Array.make n 0.0 in
+  let gaussian () = Lrd_rng.Sampler.normal rng ~mean:0.0 ~std:1.0 in
+  out.(0) <- gaussian ();
+  let v = ref 1.0 in
+  for i = 1 to n - 1 do
+    (* Durbin-Levinson update of the partial autocorrelations. *)
+    let num = ref gamma.(i) in
+    for j = 0 to i - 2 do
+      num := !num -. (phi_prev.(j) *. gamma.(i - 1 - j))
+    done;
+    let kappa = !num /. !v in
+    phi.(i - 1) <- kappa;
+    for j = 0 to i - 2 do
+      phi.(j) <- phi_prev.(j) -. (kappa *. phi_prev.(i - 2 - j))
+    done;
+    v := !v *. (1.0 -. (kappa *. kappa));
+    let mean = ref 0.0 in
+    for j = 0 to i - 1 do
+      mean := !mean +. (phi.(j) *. out.(i - 1 - j))
+    done;
+    out.(i) <- !mean +. (sqrt !v *. gaussian ());
+    Array.blit phi 0 phi_prev 0 i
+  done;
+  out

@@ -1,0 +1,28 @@
+(** Fractional Gaussian noise generation.
+
+    fGn is the stationary increment process of fractional Brownian motion:
+    a zero-mean Gaussian sequence with autocovariance
+    [gamma(k) = (|k+1|^2H - 2|k|^2H + |k-1|^2H) / 2] (unit variance).
+    It is the canonical exactly self-similar process with Hurst parameter
+    [H], and underlies the synthetic video trace that substitutes for the
+    paper's MTV recording.
+
+    Two generators are provided: the exact circulant-embedding spectral
+    method of Davies & Harte (O(n log n), used for production traces), and
+    Hosking's recursive method (O(n^2), exact, used as a small-n oracle in
+    the tests). *)
+
+val autocovariance : hurst:float -> int -> float
+(** [autocovariance ~hurst k] is the lag-[k] autocovariance of unit-
+    variance fGn.  @raise Invalid_argument unless [0 < hurst < 1]. *)
+
+val davies_harte : Lrd_rng.Rng.t -> hurst:float -> n:int -> float array
+(** [n] samples of zero-mean unit-variance fGn by circulant embedding.
+    The embedding size is the next power of two at least [2 n]; for fGn
+    the circulant eigenvalues are provably nonnegative, and tiny negative
+    rounding artifacts are clamped to zero.
+    @raise Invalid_argument unless [0 < hurst < 1] and [n > 0]. *)
+
+val hosking : Lrd_rng.Rng.t -> hurst:float -> n:int -> float array
+(** Exact O(n^2) generation by the Durbin-Levinson recursion.  Intended
+    for tests and short sequences. *)

@@ -1,0 +1,87 @@
+type params = {
+  arrival_rate : float;
+  mean_duration : float;
+  alpha : float;
+  rate_per_session : float;
+}
+
+let default =
+  {
+    arrival_rate = 50.0;
+    mean_duration = 1.0;
+    alpha = 1.4;
+    rate_per_session = 0.1;
+  }
+
+let mean_rate p = p.arrival_rate *. p.mean_duration *. p.rate_per_session
+let hurst p = (3.0 -. p.alpha) /. 2.0
+
+let deposit work t0 t1 rate ~slot ~slots =
+  let horizon = float_of_int slots *. slot in
+  let t0 = Float.max 0.0 t0 and t1 = Float.min horizon t1 in
+  if t1 > t0 then begin
+    let first = int_of_float (t0 /. slot) in
+    let last = min (slots - 1) (int_of_float ((t1 -. 1e-12) /. slot)) in
+    for b = first to last do
+      let lo = Float.max t0 (float_of_int b *. slot) in
+      let hi = Float.min t1 (float_of_int (b + 1) *. slot) in
+      if hi > lo then work.(b) <- work.(b) +. (rate *. (hi -. lo))
+    done
+  end
+
+let generate ?(params = default) rng ~slots ~slot =
+  if slots <= 0 then invalid_arg "Mginf.generate: slots must be positive";
+  if not (slot > 0.0) then invalid_arg "Mginf.generate: slot must be positive";
+  if not (params.arrival_rate > 0.0 && params.mean_duration > 0.0
+         && params.rate_per_session > 0.0) then
+    invalid_arg "Mginf.generate: parameters must be positive";
+  if not (params.alpha > 1.0) then
+    invalid_arg "Mginf.generate: alpha must exceed 1";
+  let horizon = float_of_int slots *. slot in
+  let theta = params.mean_duration *. (params.alpha -. 1.0) in
+  let work = Array.make slots 0.0 in
+  (* Stationary initial sessions: Poisson(lambda E[D]) many, each with an
+     equilibrium residual duration.  The residual ccdf of the shifted
+     Pareto is ((t + theta)/theta)^(1 - alpha), inverted in closed
+     form. *)
+  let residual_duration () =
+    let u = Lrd_rng.Rng.float_pos rng in
+    theta *. ((u ** (1.0 /. (1.0 -. params.alpha))) -. 1.0)
+  in
+  let poisson mean =
+    (* Knuth's method is fine for the moderate means used here; for
+       large means fall back to a normal approximation. *)
+    if mean > 500.0 then
+      max 0
+        (int_of_float
+           (Float.round
+              (Lrd_rng.Sampler.normal rng ~mean ~std:(sqrt mean))))
+    else begin
+      let limit = exp (-.mean) in
+      let rec go k p =
+        let p = p *. Lrd_rng.Rng.float_pos rng in
+        if p <= limit then k else go (k + 1) p
+      in
+      go 0 1.0
+    end
+  in
+  let initial = poisson (params.arrival_rate *. params.mean_duration) in
+  for _ = 1 to initial do
+    deposit work 0.0 (residual_duration ()) params.rate_per_session ~slot
+      ~slots
+  done;
+  (* Fresh arrivals over [0, horizon): Poisson process with full Pareto
+     durations. *)
+  let t = ref 0.0 in
+  let continue = ref true in
+  while !continue do
+    t := !t +. Lrd_rng.Sampler.exponential rng ~rate:params.arrival_rate;
+    if !t >= horizon then continue := false
+    else begin
+      let d =
+        Lrd_rng.Sampler.pareto rng ~theta ~alpha:params.alpha
+      in
+      deposit work !t (!t +. d) params.rate_per_session ~slot ~slots
+    end
+  done;
+  Trace.create ~rates:(Array.map (fun w -> w /. slot) work) ~slot

@@ -1,0 +1,37 @@
+(** M/G/infinity session traffic: Poisson session arrivals, heavy-tailed
+    session durations, constant rate per active session.
+
+    The instantaneous rate is [r * N(t)] where [N(t)] is the number of
+    active sessions — the classic Cox construction the paper cites among
+    LRD traffic models (zero-rate renewal processes, point-process
+    models): with Pareto durations of index [alpha in (1, 2)], the
+    active-session process is long-range dependent with
+    [H = (3 - alpha) / 2], while the marginal is Poisson — yet another
+    instance of "same correlation, different marginal".
+
+    Generation starts in the {e stationary} regime: the initial session
+    count is Poisson with mean [arrival_rate * E[D]] and each initial
+    session carries an equilibrium residual duration, so no warm-up is
+    needed. *)
+
+type params = {
+  arrival_rate : float;  (** Session arrivals per second. *)
+  mean_duration : float;  (** Mean session duration (s). *)
+  alpha : float;  (** Pareto duration index, [> 1]. *)
+  rate_per_session : float;  (** Rate contributed by an active session. *)
+}
+
+val default : params
+(** 50 sessions/s, mean duration 1 s, alpha 1.4 (H = 0.8), 0.1 Mb/s
+    per session: mean rate 5 Mb/s. *)
+
+val mean_rate : params -> float
+(** [arrival_rate * mean_duration * rate_per_session]. *)
+
+val hurst : params -> float
+(** [(3 - alpha) / 2]. *)
+
+val generate :
+  ?params:params -> Lrd_rng.Rng.t -> slots:int -> slot:float -> Trace.t
+(** Per-slot average rate over [slots * slot] seconds.
+    @raise Invalid_argument on nonpositive parameters or [alpha <= 1]. *)

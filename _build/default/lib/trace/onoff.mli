@@ -1,0 +1,47 @@
+(** Aggregated heavy-tailed on/off sources.
+
+    Willinger, Taqqu, Sherman & Wilson showed that the superposition of
+    many on/off sources whose on- and/or off-periods are heavy tailed with
+    index [alpha] yields aggregate traffic that is asymptotically
+    self-similar with [H = (3 - alpha) / 2] — the physical explanation the
+    paper leans on for LRD in Ethernet traffic.  This generator builds
+    such an aggregate and bins it into fixed slots, producing the
+    Bellcore-like substitute trace. *)
+
+type source = {
+  peak_rate : float;  (** Emission rate while ON. *)
+  on : Lrd_dist.Interarrival.t;  (** ON-period law. *)
+  off : Lrd_dist.Interarrival.t;  (** OFF-period law. *)
+}
+
+val source :
+  peak_rate:float ->
+  on:Lrd_dist.Interarrival.t ->
+  off:Lrd_dist.Interarrival.t ->
+  source
+
+val pareto_source :
+  peak_rate:float ->
+  mean_on:float ->
+  mean_off:float ->
+  alpha_on:float ->
+  alpha_off:float ->
+  source
+(** On/off source with (untruncated) Pareto periods of the given means and
+    tail indices. *)
+
+val generate :
+  Lrd_rng.Rng.t ->
+  sources:source list ->
+  slots:int ->
+  slot:float ->
+  Trace.t
+(** Superposes the sources over [slots * slot] seconds of simulated time
+    and returns the per-slot average aggregate rate.  Each source starts
+    in a random phase (ON with probability [mean_on / (mean_on +
+    mean_off)]) so the aggregate is approximately stationary from the
+    first slot.  @raise Invalid_argument if no sources are given or
+    [slots <= 0]. *)
+
+val expected_mean_rate : source list -> float
+(** Stationary mean aggregate rate: sum of [peak * on / (on + off)]. *)

@@ -1,0 +1,81 @@
+type t = { rates : float array; slot : float }
+
+let create ~rates ~slot =
+  if not (slot > 0.0) then invalid_arg "Trace.create: slot must be positive";
+  if Array.length rates = 0 then invalid_arg "Trace.create: empty trace";
+  Array.iter
+    (fun r ->
+      if not (Float.is_finite r && r >= 0.0) then
+        invalid_arg "Trace.create: rates must be finite and nonnegative")
+    rates;
+  { rates; slot }
+
+let length t = Array.length t.rates
+let duration t = float_of_int (length t) *. t.slot
+let mean t = Lrd_numerics.Array_ops.mean t.rates
+let variance t = Lrd_numerics.Array_ops.variance t.rates
+let std t = sqrt (variance t)
+let peak t = Lrd_numerics.Array_ops.max_element t.rates
+let total_work t = Lrd_numerics.Array_ops.sum t.rates *. t.slot
+let map_rates t ~f = create ~rates:(Array.map f t.rates) ~slot:t.slot
+
+let scale_to_mean t ~mean:target =
+  if not (target > 0.0) then
+    invalid_arg "Trace.scale_to_mean: target mean must be positive";
+  let current = mean t in
+  if not (current > 0.0) then
+    invalid_arg "Trace.scale_to_mean: trace mean is zero";
+  let factor = target /. current in
+  map_rates t ~f:(fun r -> r *. factor)
+
+let sub t ~pos ~len =
+  if pos < 0 || len <= 0 || pos + len > length t then
+    invalid_arg "Trace.sub: slice out of bounds";
+  { rates = Array.sub t.rates pos len; slot = t.slot }
+
+let resample t ~slot:new_slot =
+  if not (new_slot > 0.0) then
+    invalid_arg "Trace.resample: slot must be positive";
+  let total = duration t in
+  let blocks = int_of_float (total /. new_slot) in
+  if blocks = 0 then
+    invalid_arg "Trace.resample: trace shorter than one new slot";
+  let old_slot = t.slot in
+  let n = length t in
+  let work = Array.make blocks 0.0 in
+  (* Deposit each old slot's work into the new grid, splitting across
+     boundaries. *)
+  for i = 0 to n - 1 do
+    let t0 = float_of_int i *. old_slot in
+    let t1 = t0 +. old_slot in
+    let t1 = Float.min t1 (float_of_int blocks *. new_slot) in
+    if t1 > t0 then begin
+      let first = int_of_float (t0 /. new_slot) in
+      let last = min (blocks - 1) (int_of_float ((t1 -. 1e-12) /. new_slot)) in
+      for b = first to last do
+        let lo = Float.max t0 (float_of_int b *. new_slot) in
+        let hi = Float.min t1 (float_of_int (b + 1) *. new_slot) in
+        if hi > lo then work.(b) <- work.(b) +. (t.rates.(i) *. (hi -. lo))
+      done
+    end
+  done;
+  { rates = Array.map (fun w -> w /. new_slot) work; slot = new_slot }
+
+let aggregate t ~factor =
+  if factor <= 0 then invalid_arg "Trace.aggregate: factor must be positive";
+  let blocks = length t / factor in
+  if blocks = 0 then
+    invalid_arg "Trace.aggregate: trace shorter than one block";
+  let rates =
+    Array.init blocks (fun b ->
+        Lrd_numerics.Summation.kahan_slice t.rates ~pos:(b * factor)
+          ~len:factor
+        /. float_of_int factor)
+  in
+  { rates; slot = t.slot *. float_of_int factor }
+
+let service_rate_for_utilization t ~utilization =
+  if not (utilization > 0.0 && utilization < 1.0) then
+    invalid_arg
+      "Trace.service_rate_for_utilization: utilization must lie in (0, 1)";
+  mean t /. utilization

@@ -1,0 +1,55 @@
+(** Rate traces: a sequence of fluid rates averaged over fixed-length time
+    slots, the form in which the paper's MTV (33 ms frames) and Bellcore
+    (10 ms bins) traces enter every experiment. *)
+
+type t = {
+  rates : float array;  (** Average rate in each slot (work/time units). *)
+  slot : float;  (** Slot duration in seconds. *)
+}
+
+val create : rates:float array -> slot:float -> t
+(** @raise Invalid_argument if the slot is not positive, the trace is
+    empty, or any rate is negative or non-finite. *)
+
+val length : t -> int
+val duration : t -> float
+(** Total covered time, [length * slot]. *)
+
+val mean : t -> float
+val variance : t -> float
+val std : t -> float
+val peak : t -> float
+
+val total_work : t -> float
+(** Sum of [rate * slot] over the trace. *)
+
+val map_rates : t -> f:(float -> float) -> t
+(** Pointwise transformation of the rates; validates the result. *)
+
+val scale_to_mean : t -> mean:float -> t
+(** Multiplies all rates by a constant so the trace mean becomes [mean]. *)
+
+val sub : t -> pos:int -> len:int -> t
+(** Contiguous slice.  @raise Invalid_argument on out-of-bounds. *)
+
+val resample : t -> slot:float -> t
+(** Re-grids the trace onto a new slot length, conserving work exactly:
+    each new slot's rate is the average of the fluid that the original
+    trace carries over that interval (old slots are split fractionally
+    across new-slot boundaries).  The new trace covers
+    [floor (duration / slot)] slots; a trailing partial slot is dropped.
+    @raise Invalid_argument if [slot <= 0] or the trace is shorter than
+    one new slot. *)
+
+val aggregate : t -> factor:int -> t
+(** Coarsens the trace by averaging non-overlapping blocks of [factor]
+    slots (the slot length grows by [factor]); a trailing partial block
+    is dropped.  This is the aggregation underlying variance-time
+    analysis: for second-order self-similar rates the variance of the
+    aggregated trace decays like [factor^(2H-2)].
+    @raise Invalid_argument if [factor <= 0] or the trace is shorter
+    than one block. *)
+
+val service_rate_for_utilization : t -> utilization:float -> float
+(** [c] such that [mean t / c = utilization].
+    @raise Invalid_argument unless utilization is in (0, 1). *)

@@ -1,0 +1,38 @@
+let save trace ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# lrd rate trace: %d slots\n" (Trace.length trace);
+      Printf.fprintf oc "slot %.17g\n" trace.Trace.slot;
+      Array.iter
+        (fun r -> Printf.fprintf oc "%.17g\n" r)
+        trace.Trace.rates)
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let slot = ref None in
+      let rates = ref [] in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line = "" || line.[0] = '#' then ()
+           else if String.length line > 5 && String.sub line 0 5 = "slot " then
+             slot :=
+               Some
+                 (try float_of_string (String.sub line 5 (String.length line - 5))
+                  with Failure _ -> failwith "Trace_io.load: bad slot header")
+           else
+             rates :=
+               (try float_of_string line
+                with Failure _ -> failwith "Trace_io.load: bad rate line")
+               :: !rates
+         done
+       with End_of_file -> ());
+      match !slot with
+      | None -> failwith "Trace_io.load: missing slot header"
+      | Some slot ->
+          Trace.create ~rates:(Array.of_list (List.rev !rates)) ~slot)

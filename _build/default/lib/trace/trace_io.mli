@@ -1,0 +1,11 @@
+(** Plain-text persistence for rate traces.
+
+    Format: '#'-prefixed comment lines, then a header line
+    [slot <seconds>], then one rate per line.  Keeps generated traces
+    reusable across runs and inspectable with standard tools. *)
+
+val save : Trace.t -> path:string -> unit
+(** Writes the trace; overwrites an existing file. *)
+
+val load : path:string -> Trace.t
+(** @raise Failure on a malformed file. *)

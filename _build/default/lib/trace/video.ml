@@ -1,0 +1,99 @@
+type params = {
+  frames : int;
+  frame_time : float;
+  mean_rate : float;
+  cv : float;
+  hurst : float;
+  scene_mean : float;
+  jitter_cv : float;
+  jitter_rho : float;
+}
+
+let mtv_like =
+  {
+    frames = 107_892;
+    frame_time = 1.0 /. 30.0;
+    mean_rate = 9.5222;
+    cv = 0.18;
+    hurst = 0.83;
+    scene_mean = 0.5;
+    jitter_cv = 0.02;
+    jitter_rho = 0.8;
+  }
+
+(* Interpolation table for the marginal quantile function, sampled at the
+   midpoints p_j = (j + 1/2) / k.  Probabilities are clamped into the
+   table range; the induced error is far below one histogram bin. *)
+let quantile_table (dist : Lrd_dist.Continuous.t) k =
+  let table =
+    Array.init k (fun j ->
+        dist.Lrd_dist.Continuous.quantile
+          ((float_of_int j +. 0.5) /. float_of_int k))
+  in
+  fun p ->
+    let x = (p *. float_of_int k) -. 0.5 in
+    if x <= 0.0 then table.(0)
+    else if x >= float_of_int (k - 1) then table.(k - 1)
+    else begin
+      let i = int_of_float x in
+      let frac = x -. float_of_int i in
+      table.(i) +. (frac *. (table.(i + 1) -. table.(i)))
+    end
+
+let check params =
+  if params.frames <= 0 then invalid_arg "Video.generate: frames <= 0";
+  if not (params.frame_time > 0.0) then
+    invalid_arg "Video.generate: frame_time <= 0"
+
+let generate ?(params = mtv_like) rng =
+  check params;
+  if not (params.scene_mean > 0.0) then
+    invalid_arg "Video.generate: scene_mean <= 0";
+  if not (params.jitter_rho >= 0.0 && params.jitter_rho < 1.0) then
+    invalid_arg "Video.generate: jitter_rho outside [0, 1)";
+  let scene_rate =
+    Lrd_dist.Continuous.gamma_of_mean_cv ~mean:params.mean_rate ~cv:params.cv
+  in
+  (* Heavy-tailed scene lengths give the aggregate its LRD:
+     H = (3 - alpha)/2. *)
+  let alpha = 3.0 -. (2.0 *. params.hurst) in
+  let scene_theta = params.scene_mean *. (alpha -. 1.0) in
+  let jitter_std = params.jitter_cv *. params.mean_rate in
+  (* Stationary AR(1) innovation std. *)
+  let innovation_std =
+    jitter_std *. sqrt (1.0 -. (params.jitter_rho *. params.jitter_rho))
+  in
+  let rates = Array.make params.frames 0.0 in
+  let i = ref 0 in
+  let jitter = ref (Lrd_rng.Sampler.normal rng ~mean:0.0 ~std:jitter_std) in
+  while !i < params.frames do
+    let base = scene_rate.Lrd_dist.Continuous.sample rng in
+    let length_s =
+      Lrd_rng.Sampler.pareto rng ~theta:scene_theta ~alpha
+    in
+    let length = max 1 (int_of_float (Float.round (length_s /. params.frame_time))) in
+    let stop = min params.frames (!i + length) in
+    while !i < stop do
+      jitter :=
+        (params.jitter_rho *. !jitter)
+        +. Lrd_rng.Sampler.normal rng ~mean:0.0 ~std:innovation_std;
+      rates.(!i) <- Float.max 0.0 (base +. !jitter);
+      incr i
+    done
+  done;
+  Trace.create ~rates ~slot:params.frame_time
+
+let generate_fgn ?(params = mtv_like) rng =
+  check params;
+  let marginal =
+    Lrd_dist.Continuous.gamma_of_mean_cv ~mean:params.mean_rate ~cv:params.cv
+  in
+  let quantile = quantile_table marginal 4096 in
+  let z = Fgn.davies_harte rng ~hurst:params.hurst ~n:params.frames in
+  let rates =
+    Array.map (fun zi -> quantile (Lrd_numerics.Special.normal_cdf zi)) z
+  in
+  Trace.create ~rates ~slot:params.frame_time
+
+let generate_short ?(hurst = mtv_like.hurst) rng ~n =
+  generate ~params:{ mtv_like with frames = n; hurst } rng

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Ams Array Dar Float List Lrd_baselines Lrd_dist Lrd_fluidsim Lrd_numerics Lrd_rng Lrd_stats Lrd_trace Markov_chain Multiscale Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Array Float List Lrd_control Lrd_rng Lrd_trace Printf QCheck QCheck_alcotest Rcbr Token_bucket

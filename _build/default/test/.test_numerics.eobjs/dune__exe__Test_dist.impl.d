@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Continuous Float Interarrival List Lrd_dist Lrd_numerics Lrd_rng Marginal Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_fluidsim.ml: Alcotest Array Float Gps List Lrd_fluidsim Lrd_numerics Lrd_rng Lrd_trace Priority QCheck QCheck_alcotest Queue_sim Seq Tandem

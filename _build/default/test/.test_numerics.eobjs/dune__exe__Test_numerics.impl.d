@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Array_ops Convolution Fft Float Gen Linalg List Lrd_numerics Printf QCheck QCheck_alcotest Quadrature Roots Special Summation Wavelet

@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Array Arrivals Float List Lrd_fluidsim Lrd_packet Lrd_rng Lrd_trace Packet_queue QCheck QCheck_alcotest Seq

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float Int64 List Lrd_numerics Lrd_rng Printf QCheck QCheck_alcotest Rng Sampler

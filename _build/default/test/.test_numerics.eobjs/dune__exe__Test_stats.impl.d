@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Autocorr Batch_means Descriptive Float Hurst List Lrd_numerics Lrd_rng Lrd_stats Lrd_trace Printf QCheck QCheck_alcotest Spectral Stationarity Whittle

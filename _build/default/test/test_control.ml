@@ -1,0 +1,223 @@
+open Lrd_control
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1.0 +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.17g, got %.17g" msg expected actual
+
+let trace_of rates slot = Lrd_trace.Trace.create ~rates ~slot
+
+(* ------------------------------------------------------------------ *)
+(* Token bucket *)
+
+let test_bucket_passes_conforming_traffic () =
+  (* Input below the token rate passes untouched. *)
+  let t = trace_of [| 1.0; 0.5; 0.8; 0.2 |] 1.0 in
+  let r = Token_bucket.shape ~rate:1.0 ~burst:0.5 t in
+  Array.iteri
+    (fun i v ->
+      check_close (Printf.sprintf "slot %d" i) t.Lrd_trace.Trace.rates.(i) v)
+    r.Token_bucket.shaped.Lrd_trace.Trace.rates;
+  check_close "no drops" 0.0 r.Token_bucket.dropped_work
+
+let test_bucket_caps_sustained_excess () =
+  (* Sustained input at 2 with rate 1: output tends to 1 once the
+     initial burst allowance is spent. *)
+  let t = trace_of (Array.make 50 2.0) 1.0 in
+  let r = Token_bucket.shape ~rate:1.0 ~burst:3.0 t in
+  let out = r.Token_bucket.shaped.Lrd_trace.Trace.rates in
+  check_close "first slot uses burst" 2.0 out.(0);
+  check_close "steady state" 1.0 out.(40);
+  (* Conservation: input work = output work + backlog (infinite shaping
+     buffer, so nothing dropped). *)
+  check_close ~eps:1e-9 "conservation"
+    (Lrd_trace.Trace.total_work t)
+    (Lrd_trace.Trace.total_work r.Token_bucket.shaped
+    +. (Lrd_trace.Trace.total_work t
+       -. Lrd_trace.Trace.total_work r.Token_bucket.shaped));
+  Alcotest.(check bool) "backlog grew" true
+    (r.Token_bucket.max_shaper_backlog > 10.0)
+
+let test_bucket_burst_allowance () =
+  (* Burst b on top of rate r within one slot: output work <= r dt + b. *)
+  let t = trace_of [| 10.0; 0.0 |] 1.0 in
+  let r = Token_bucket.shape ~rate:1.0 ~burst:2.0 t in
+  let out = r.Token_bucket.shaped.Lrd_trace.Trace.rates in
+  check_close "burst + rate" 3.0 out.(0);
+  (* Second slot: backlog drains at the token rate. *)
+  check_close "drain" 1.0 out.(1)
+
+let test_bucket_finite_buffer_drops () =
+  let t = trace_of [| 10.0 |] 1.0 in
+  let r = Token_bucket.shape ~rate:1.0 ~burst:0.0 ~shaper_buffer:2.0 t in
+  check_close "sent" 1.0 r.Token_bucket.shaped.Lrd_trace.Trace.rates.(0);
+  check_close "kept" 2.0 r.Token_bucket.max_shaper_backlog;
+  check_close "dropped" 7.0 r.Token_bucket.dropped_work
+
+let test_bucket_output_never_exceeds_envelope () =
+  let rng = Lrd_rng.Rng.create ~seed:11L in
+  let rates = Array.init 2_000 (fun _ -> Lrd_rng.Rng.float rng *. 5.0) in
+  let t = trace_of rates 0.1 in
+  let rate = 2.0 and burst = 0.7 in
+  let r = Token_bucket.shape ~rate ~burst t in
+  (* Work over any single slot is at most rate * slot + burst. *)
+  Array.iter
+    (fun v ->
+      if v *. 0.1 > (rate *. 0.1) +. burst +. 1e-9 then
+        Alcotest.failf "envelope violated: %g" v)
+    r.Token_bucket.shaped.Lrd_trace.Trace.rates
+
+let test_bucket_rejects_bad_params () =
+  let t = trace_of [| 1.0 |] 1.0 in
+  Alcotest.check_raises "rate"
+    (Invalid_argument "Token_bucket.shape: rate must be positive") (fun () ->
+      ignore (Token_bucket.shape ~rate:0.0 ~burst:1.0 t))
+
+(* ------------------------------------------------------------------ *)
+(* RCBR *)
+
+let test_rcbr_constant_input_never_renegotiates () =
+  let t = trace_of (Array.make 100 5.0) 0.1 in
+  let r = Rcbr.control ~params:{ Rcbr.default with interval = 1.0 } t in
+  Alcotest.(check int) "no renegotiations" 0 r.Rcbr.renegotiations;
+  check_close "reservation std" 0.0 r.Rcbr.reservation_std;
+  (* Reservation covers the rate with default headroom. *)
+  check_close ~eps:1e-9 "level" (5.0 *. 1.1) r.Rcbr.mean_reservation
+
+let test_rcbr_tracks_level_change () =
+  (* Step change halfway: exactly one renegotiation (plus possibly one
+     at the first boundary after the step window fills). *)
+  let rates = Array.append (Array.make 100 2.0) (Array.make 100 8.0) in
+  let t = trace_of rates 0.1 in
+  let r = Rcbr.control ~params:{ Rcbr.default with interval = 1.0 } t in
+  Alcotest.(check int) "one renegotiation" 1 r.Rcbr.renegotiations;
+  let reserved = r.Rcbr.reserved.Lrd_trace.Trace.rates in
+  check_close "before" (2.0 *. 1.1) reserved.(50);
+  check_close "after" (8.0 *. 1.1) reserved.(150)
+
+let test_rcbr_reservation_covers_quantile () =
+  let rng = Lrd_rng.Rng.create ~seed:21L in
+  let rates = Array.init 5_000 (fun _ -> 1.0 +. Lrd_rng.Rng.float rng) in
+  let t = trace_of rates 0.01 in
+  let r = Rcbr.control t in
+  (* Fraction of slots above the reservation should be near 1 - q
+     (modulo the one-interval reporting lag and headroom). *)
+  let above =
+    Array.mapi
+      (fun i rate ->
+        if rate > r.Rcbr.reserved.Lrd_trace.Trace.rates.(i) then 1 else 0)
+      rates
+    |> Array.fold_left ( + ) 0
+  in
+  let fraction = float_of_int above /. 5000.0 in
+  Alcotest.(check bool) "mostly covered" true (fraction < 0.15);
+  Alcotest.(check bool) "smoothing bounded" true
+    (r.Rcbr.smoothing_backlog < 1.0)
+
+let test_rcbr_hysteresis_suppresses_chatter () =
+  let rng = Lrd_rng.Rng.create ~seed:31L in
+  (* Small fluctuations around a level: generous hysteresis kills all
+     renegotiations; zero hysteresis renegotiates frequently. *)
+  let rates =
+    Array.init 2_000 (fun _ -> 5.0 +. (0.05 *. Lrd_rng.Rng.float rng))
+  in
+  let t = trace_of rates 0.01 in
+  let quiet =
+    Rcbr.control
+      ~params:{ Rcbr.default with interval = 0.5; hysteresis = 0.2 }
+      t
+  in
+  let chatty =
+    Rcbr.control
+      ~params:{ Rcbr.default with interval = 0.5; hysteresis = 0.0 }
+      t
+  in
+  Alcotest.(check int) "quiet" 0 quiet.Rcbr.renegotiations;
+  Alcotest.(check bool) "chatty" true (chatty.Rcbr.renegotiations > 10)
+
+let test_rcbr_narrower_than_source_on_video () =
+  let rng = Lrd_rng.Rng.create ~seed:41L in
+  let trace = Lrd_trace.Video.generate_short rng ~n:8_192 in
+  let r = Rcbr.control trace in
+  (* The reservation tracks scene-level structure: renegotiation rate
+     stays far below the slot rate while covering the traffic. *)
+  Alcotest.(check bool) "sparse signalling" true
+    (r.Rcbr.renegotiation_rate < 2.0);
+  Alcotest.(check bool) "covers mean" true
+    (r.Rcbr.mean_reservation > Lrd_trace.Trace.mean trace)
+
+let test_rcbr_rejects_bad_params () =
+  let t = trace_of (Array.make 10 1.0) 1.0 in
+  Alcotest.check_raises "short trace"
+    (Invalid_argument "Rcbr.control: trace shorter than one interval")
+    (fun () ->
+      ignore (Rcbr.control ~params:{ Rcbr.default with interval = 100.0 } t));
+  Alcotest.check_raises "quantile"
+    (Invalid_argument "Rcbr.control: quantile must lie in (0, 1]") (fun () ->
+      ignore (Rcbr.control ~params:{ Rcbr.default with quantile = 0.0 } t))
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_bucket_work_conserving =
+  QCheck.Test.make ~name:"token bucket never creates work" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         triple (float_range 0.1 5.0) (float_range 0.0 3.0)
+           (list_size (int_range 1 100) (float_range 0.0 10.0))))
+    (fun (rate, burst, rates) ->
+      let t = trace_of (Array.of_list rates) 0.5 in
+      let r = Token_bucket.shape ~rate ~burst t in
+      Lrd_trace.Trace.total_work r.Token_bucket.shaped
+      <= Lrd_trace.Trace.total_work t +. 1e-9)
+
+let prop_rcbr_reservation_positive =
+  QCheck.Test.make ~name:"rcbr reservation stays positive" ~count:50
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 20 300) (float_range 0.1 10.0)))
+    (fun rates ->
+      let t = trace_of (Array.of_list rates) 0.1 in
+      let r =
+        Rcbr.control ~params:{ Rcbr.default with interval = 0.5 } t
+      in
+      Array.for_all
+        (fun v -> v > 0.0)
+        r.Rcbr.reserved.Lrd_trace.Trace.rates)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "control"
+    [
+      ( "token-bucket",
+        [
+          Alcotest.test_case "passes conforming traffic" `Quick
+            test_bucket_passes_conforming_traffic;
+          Alcotest.test_case "caps sustained excess" `Quick
+            test_bucket_caps_sustained_excess;
+          Alcotest.test_case "burst allowance" `Quick
+            test_bucket_burst_allowance;
+          Alcotest.test_case "finite buffer drops" `Quick
+            test_bucket_finite_buffer_drops;
+          Alcotest.test_case "envelope respected" `Quick
+            test_bucket_output_never_exceeds_envelope;
+          Alcotest.test_case "rejects bad params" `Quick
+            test_bucket_rejects_bad_params;
+        ] );
+      ( "rcbr",
+        [
+          Alcotest.test_case "constant input" `Quick
+            test_rcbr_constant_input_never_renegotiates;
+          Alcotest.test_case "tracks level change" `Quick
+            test_rcbr_tracks_level_change;
+          Alcotest.test_case "covers the quantile" `Quick
+            test_rcbr_reservation_covers_quantile;
+          Alcotest.test_case "hysteresis suppresses chatter" `Quick
+            test_rcbr_hysteresis_suppresses_chatter;
+          Alcotest.test_case "video reservation" `Slow
+            test_rcbr_narrower_than_source_on_video;
+          Alcotest.test_case "rejects bad params" `Quick
+            test_rcbr_rejects_bad_params;
+        ] );
+      ( "properties",
+        qcheck [ prop_bucket_work_conserving; prop_rcbr_reservation_positive ]
+      );
+    ]

@@ -1,0 +1,1056 @@
+open Lrd_core
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1.0 +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.17g, got %.17g" msg expected actual
+
+let onoff_marginal = Lrd_dist.Marginal.of_points [ (0.0, 0.5); (2.0, 0.5) ]
+
+let exp_model mean =
+  Model.create ~marginal:onoff_marginal
+    ~interarrival:(Lrd_dist.Interarrival.exponential ~mean)
+
+let pareto_model ?(marginal = onoff_marginal) ~theta ~alpha ~cutoff () =
+  Model.cutoff_pareto ~marginal ~theta ~alpha ~cutoff
+
+(* ------------------------------------------------------------------ *)
+(* Model *)
+
+let test_hurst_alpha_mapping () =
+  check_close "alpha of 0.83" 1.34 (Model.alpha_of_hurst 0.83);
+  check_close "hurst of 1.34" 0.83 (Model.hurst_of_alpha 1.34);
+  check_close "roundtrip" 0.7 (Model.hurst_of_alpha (Model.alpha_of_hurst 0.7));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Model.alpha_of_hurst: hurst must lie in (0.5, 1)")
+    (fun () -> ignore (Model.alpha_of_hurst 0.5))
+
+let test_model_moments () =
+  let m = exp_model 1.0 in
+  check_close "mean rate (eq. 2)" 1.0 (Model.mean_rate m);
+  check_close "rate variance (eq. 4)" 1.0 (Model.rate_variance m);
+  check_close "mean epoch" 1.0 (Model.mean_epoch m);
+  check_close "service for util 0.5" 2.0
+    (Model.service_rate_for_utilization m ~utilization:0.5)
+
+let test_covariance_drops_at_cutoff () =
+  (* Eq. 8: correlation is exactly zero beyond the cutoff lag. *)
+  let m = pareto_model ~theta:0.5 ~alpha:1.4 ~cutoff:3.0 () in
+  Alcotest.(check bool) "positive inside" true (Model.covariance m 1.0 > 0.0);
+  check_close "zero at cutoff" 0.0 (Model.covariance m 3.0);
+  check_close "zero beyond" 0.0 (Model.covariance m 10.0);
+  check_close "variance at lag 0" (Model.rate_variance m)
+    (Model.covariance m 0.0)
+
+let test_covariance_formula_eq8 () =
+  (* Closed form of eq. 8 against the implementation. *)
+  let theta = 0.5 and alpha = 1.4 and cutoff = 3.0 in
+  let m = pareto_model ~theta ~alpha ~cutoff () in
+  let expected t =
+    let p x = ((x +. theta) /. theta) ** (1.0 -. alpha) in
+    Model.rate_variance m *. (p t -. p cutoff) /. (p 0.0 -. p cutoff)
+  in
+  List.iter
+    (fun t ->
+      check_close ~eps:1e-10
+        (Printf.sprintf "phi(%g)" t)
+        (expected t) (Model.covariance m t))
+    [ 0.1; 0.5; 1.0; 2.0; 2.9 ]
+
+let test_covariance_matches_monte_carlo () =
+  (* The model's phi(t) = sigma^2 Pr{tau_res >= t} against an empirical
+     autocovariance of a sampled path. *)
+  let m = pareto_model ~theta:0.3 ~alpha:1.6 ~cutoff:5.0 () in
+  let rng = Lrd_rng.Rng.create ~seed:2025L in
+  let slot = 0.05 in
+  let trace = Model.sample_trace m rng ~slots:400_000 ~slot in
+  let acv =
+    Lrd_stats.Autocorr.autocovariance trace.Lrd_trace.Trace.rates ~max_lag:40
+  in
+  (* Slot averaging smooths lag 0; compare at a few multi-slot lags. *)
+  List.iter
+    (fun lag ->
+      let t = float_of_int lag *. slot in
+      check_close ~eps:0.1
+        (Printf.sprintf "acv at %g" t)
+        (Model.covariance m t) acv.(lag))
+    [ 4; 8; 16 ]
+
+let test_sample_epochs_statistics () =
+  let m = pareto_model ~theta:0.4 ~alpha:1.8 ~cutoff:2.0 () in
+  let rng = Lrd_rng.Rng.create ~seed:31L in
+  let epochs = Model.sample_epochs m rng ~n:100_000 in
+  let durations = Array.map snd epochs in
+  let rates = Array.map fst epochs in
+  check_close ~eps:0.02 "mean epoch" (Model.mean_epoch m)
+    (Lrd_numerics.Array_ops.mean durations);
+  check_close ~eps:0.02 "mean rate" 1.0 (Lrd_numerics.Array_ops.mean rates)
+
+let test_fit_from_trace_recovers_marginal () =
+  (* Fit on a sampled path of a known model: marginal mean and epoch
+     scale must come back close. *)
+  let rng = Lrd_rng.Rng.create ~seed:17L in
+  let trace =
+    Lrd_trace.Video.generate_short rng ~n:16_384
+  in
+  let fitted = Model.fit_from_trace ~hurst:0.83 trace in
+  check_close ~eps:1e-6 "marginal mean preserved"
+    (Lrd_trace.Trace.mean trace)
+    (Model.mean_rate fitted);
+  (* Theta reproduces the measured mean epoch through eq. 25. *)
+  let measured = Lrd_trace.Epochs.mean_epoch_duration ~bins:50 trace in
+  check_close ~eps:1e-9 "epoch matched" measured (Model.mean_epoch fitted)
+
+(* ------------------------------------------------------------------ *)
+(* Workload *)
+
+let test_workload_mean () =
+  let m = exp_model 2.0 in
+  let w = Workload.create m ~service_rate:1.5 in
+  (* E[W] = E[T] (mean - c) = 2 * (1 - 1.5). *)
+  check_close "mean" (-1.0) (Workload.mean w)
+
+let test_workload_survival_two_sided () =
+  (* Deterministic epochs of length 1: W = lambda - c exactly. *)
+  let m =
+    Model.create ~marginal:onoff_marginal
+      ~interarrival:(Lrd_dist.Interarrival.deterministic ~value:1.0)
+  in
+  let w = Workload.create m ~service_rate:1.5 in
+  (* W = -1.5 w.p. 1/2, +0.5 w.p. 1/2. *)
+  check_close "ge -2" 1.0 (Workload.survival_ge w (-2.0));
+  check_close "ge -1.5" 1.0 (Workload.survival_ge w (-1.5));
+  check_close "gt -1.5" 0.5 (Workload.survival_gt w (-1.5));
+  check_close "ge 0" 0.5 (Workload.survival_ge w 0.0);
+  check_close "ge 0.5" 0.5 (Workload.survival_ge w 0.5);
+  check_close "gt 0.5" 0.0 (Workload.survival_gt w 0.5);
+  check_close "ge 1" 0.0 (Workload.survival_ge w 1.0)
+
+let test_workload_survival_monotone_and_bounded () =
+  let m = pareto_model ~theta:0.3 ~alpha:1.5 ~cutoff:4.0 () in
+  let w = Workload.create m ~service_rate:1.2 in
+  let xs = Lrd_numerics.Array_ops.linspace (-10.0) 10.0 101 in
+  let prev = ref 1.1 in
+  Array.iter
+    (fun x ->
+      let v = Workload.survival_ge w x in
+      if v > !prev +. 1e-12 then Alcotest.failf "not monotone at %g" x;
+      if v < 0.0 || v > 1.0 then Alcotest.failf "out of [0,1] at %g" x;
+      if Workload.survival_gt w x > v +. 1e-12 then
+        Alcotest.failf "gt above ge at %g" x;
+      prev := v)
+    xs
+
+let test_workload_max_increment () =
+  let m = pareto_model ~theta:0.3 ~alpha:1.5 ~cutoff:4.0 () in
+  let w = Workload.create m ~service_rate:1.2 in
+  check_close "cutoff * (peak - c)" (4.0 *. 0.8) (Workload.max_increment w);
+  let all_below = Workload.create m ~service_rate:3.0 in
+  check_close "no growth" 0.0 (Workload.max_increment all_below);
+  let unbounded =
+    Workload.create
+      (pareto_model ~theta:0.3 ~alpha:1.5 ~cutoff:Float.infinity ())
+      ~service_rate:1.2
+  in
+  Alcotest.(check bool) "unbounded" true
+    (Workload.max_increment unbounded = Float.infinity)
+
+let test_expected_overflow_closed_form () =
+  (* Against the paper's closed form (display after eq. 14). *)
+  let theta = 0.4 and alpha = 1.5 and cutoff = 6.0 in
+  let m = pareto_model ~theta ~alpha ~cutoff () in
+  let c = 1.25 in
+  let w = Workload.create m ~service_rate:c in
+  let buffer = 2.0 in
+  let paper_formula x =
+    (* Only the rate 2 exceeds c; pi = 0.5, delta = 0.75. *)
+    let delta = 2.0 -. c in
+    if (cutoff *. delta) -. buffer +. x <= 0.0 then 0.0
+    else
+      theta /. (alpha -. 1.0) *. 0.5 *. delta
+      *. ((((buffer -. x) /. (theta *. delta)) +. 1.0) ** (1.0 -. alpha)
+         -. (((cutoff /. theta) +. 1.0) ** (1.0 -. alpha)))
+  in
+  List.iter
+    (fun x ->
+      check_close ~eps:1e-10
+        (Printf.sprintf "overflow at %g" x)
+        (paper_formula x)
+        (Workload.expected_overflow w ~buffer ~occupancy:x))
+    [ 0.0; 0.5; 1.0; 1.5; 2.0 ]
+
+let test_expected_overflow_monte_carlo () =
+  let m = pareto_model ~theta:0.4 ~alpha:1.5 ~cutoff:6.0 () in
+  let c = 1.25 in
+  let w = Workload.create m ~service_rate:c in
+  let buffer = 2.0 and occupancy = 1.0 in
+  let rng = Lrd_rng.Rng.create ~seed:4L in
+  let n = 500_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    let rate, dur =
+      match Model.sample_epochs m rng ~n:1 with
+      | [| (r, d) |] -> (r, d)
+      | _ -> assert false
+    in
+    let increment = (rate -. c) *. dur in
+    acc := !acc +. Float.max 0.0 (increment -. (buffer -. occupancy))
+  done;
+  check_close ~eps:0.03 "monte carlo"
+    (!acc /. float_of_int n)
+    (Workload.expected_overflow w ~buffer ~occupancy)
+
+let test_expected_overflow_monotone_in_occupancy () =
+  let m = pareto_model ~theta:0.4 ~alpha:1.5 ~cutoff:6.0 () in
+  let w = Workload.create m ~service_rate:1.25 in
+  let prev = ref (-1.0) in
+  List.iter
+    (fun x ->
+      let v = Workload.expected_overflow w ~buffer:2.0 ~occupancy:x in
+      if v < !prev -. 1e-12 then Alcotest.failf "not increasing at %g" x;
+      prev := v)
+    [ 0.0; 0.4; 0.8; 1.2; 1.6; 2.0 ]
+
+let test_zero_buffer_loss_formula () =
+  let m = exp_model 1.0 in
+  let w = Workload.create m ~service_rate:1.25 in
+  (* E[(lambda - c)^+] / mean = 0.5 * 0.75 / 1 = 0.375. *)
+  check_close "zero buffer" 0.375 (Workload.zero_buffer_loss w)
+
+let test_discretize_bins_sum_to_one () =
+  let m = pareto_model ~theta:0.4 ~alpha:1.5 ~cutoff:6.0 () in
+  let w = Workload.create m ~service_rate:1.25 in
+  let bins = Workload.discretize w ~buffer:2.0 ~bins:64 in
+  Alcotest.(check int) "length" 129 (Array.length bins.Workload.lower);
+  check_close ~eps:1e-12 "lower mass" 1.0
+    (Lrd_numerics.Array_ops.sum bins.Workload.lower);
+  check_close ~eps:1e-12 "upper mass" 1.0
+    (Lrd_numerics.Array_ops.sum bins.Workload.upper)
+
+let test_discretize_stochastic_ordering () =
+  (* The ceiling pmf must stochastically dominate the floor pmf: for
+     every threshold, the upper chain has at least as much mass above. *)
+  let m = pareto_model ~theta:0.4 ~alpha:1.5 ~cutoff:6.0 () in
+  let w = Workload.create m ~service_rate:1.25 in
+  let bins = Workload.discretize w ~buffer:2.0 ~bins:64 in
+  let tail a k =
+    let n = Array.length a in
+    Lrd_numerics.Summation.kahan_slice a ~pos:k ~len:(n - k)
+  in
+  for k = 0 to 128 do
+    if tail bins.Workload.upper k < tail bins.Workload.lower k -. 1e-12 then
+      Alcotest.failf "ordering violated at bin %d" k
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Solver *)
+
+let test_solver_zero_buffer_closed_form () =
+  let m = exp_model 1.0 in
+  let r = Solver.solve m ~service_rate:1.25 ~buffer:0.0 in
+  check_close "B=0" 0.375 r.Solver.loss;
+  Alcotest.(check bool) "converged" true r.Solver.converged
+
+let test_solver_underloaded_is_zero () =
+  (* All rates below the service rate: loss must be exactly zero. *)
+  let m = exp_model 1.0 in
+  let r = Solver.solve m ~service_rate:2.5 ~buffer:1.0 in
+  check_close "no loss" 0.0 r.Solver.loss
+
+let test_solver_bounds_bracket () =
+  let m = pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:5.0 () in
+  let r = Solver.solve m ~service_rate:1.25 ~buffer:2.0 in
+  Alcotest.(check bool) "lower <= upper" true
+    (r.Solver.lower_bound <= r.Solver.upper_bound);
+  Alcotest.(check bool) "loss inside" true
+    (r.Solver.loss >= r.Solver.lower_bound
+    && r.Solver.loss <= r.Solver.upper_bound);
+  Alcotest.(check bool) "converged" true r.Solver.converged;
+  (* The paper's 20% gap criterion. *)
+  Alcotest.(check bool) "gap criterion" true
+    (r.Solver.upper_bound -. r.Solver.lower_bound
+    <= 0.2 *. ((r.Solver.upper_bound +. r.Solver.lower_bound) /. 2.0)
+       +. 1e-12)
+
+let test_solver_matches_simulation_exponential () =
+  let m = exp_model 1.0 in
+  let c = 1.25 and buffer = 2.0 in
+  let r = Solver.solve m ~service_rate:c ~buffer in
+  let rng = Lrd_rng.Rng.create ~seed:42L in
+  let epochs = Model.sample_epochs m rng ~n:2_000_000 in
+  let sim = Lrd_fluidsim.Queue_sim.make ~service_rate:c ~buffer () in
+  let stats =
+    Lrd_fluidsim.Queue_sim.run_epochs sim (Array.to_seq epochs)
+  in
+  check_close ~eps:0.02 "solver vs simulation"
+    (Lrd_fluidsim.Queue_sim.loss_rate stats)
+    r.Solver.loss
+
+let test_solver_matches_simulation_truncated_pareto () =
+  let m = pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:2.0 () in
+  let c = 1.25 and buffer = 1.0 in
+  let r = Solver.solve m ~service_rate:c ~buffer in
+  let rng = Lrd_rng.Rng.create ~seed:43L in
+  let epochs = Model.sample_epochs m rng ~n:2_000_000 in
+  let sim = Lrd_fluidsim.Queue_sim.make ~service_rate:c ~buffer () in
+  let stats = Lrd_fluidsim.Queue_sim.run_epochs sim (Array.to_seq epochs) in
+  check_close ~eps:0.05 "solver vs simulation"
+    (Lrd_fluidsim.Queue_sim.loss_rate stats)
+    r.Solver.loss
+
+let test_solver_loss_decreasing_in_buffer () =
+  let m = pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:5.0 () in
+  let prev = ref 1.0 in
+  List.iter
+    (fun b ->
+      let r = Solver.solve m ~service_rate:1.25 ~buffer:b in
+      if r.Solver.loss > !prev +. 1e-9 then
+        Alcotest.failf "loss grew at B=%g" b;
+      prev := r.Solver.loss)
+    [ 0.0; 0.5; 1.0; 2.0; 4.0 ]
+
+let test_solver_loss_increasing_in_cutoff () =
+  let loss cutoff =
+    let m = pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff () in
+    (Solver.solve m ~service_rate:1.25 ~buffer:2.0).Solver.loss
+  in
+  let prev = ref 0.0 in
+  List.iter
+    (fun tc ->
+      let l = loss tc in
+      (* 20%-tolerance bounds leave some slack; require no big drop. *)
+      if l < !prev *. 0.9 then Alcotest.failf "loss dropped at Tc=%g" tc;
+      prev := l)
+    [ 0.5; 1.0; 2.0; 5.0; 20.0; 100.0; Float.infinity ]
+
+let test_solver_loss_increasing_in_utilization () =
+  let m = pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:5.0 () in
+  let loss u = (Solver.solve_utilization m ~utilization:u ~buffer_seconds:1.0).Solver.loss in
+  let l1 = loss 0.5 and l2 = loss 0.7 and l3 = loss 0.9 in
+  Alcotest.(check bool) "0.5 < 0.7" true (l1 <= l2);
+  Alcotest.(check bool) "0.7 < 0.9" true (l2 <= l3)
+
+let test_solver_respects_max_iterations () =
+  let m = pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:5.0 () in
+  let params =
+    { Solver.default_params with max_iterations = 4; check_every = 2 }
+  in
+  let r = Solver.solve ~params m ~service_rate:1.25 ~buffer:2.0 in
+  Alcotest.(check bool) "iterations bounded" true (r.Solver.iterations <= 4)
+
+let test_solver_direct_matches_fft () =
+  let m = pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:2.0 () in
+  let solve conv =
+    (Solver.solve
+       ~params:{ Solver.default_params with convolution = conv }
+       m ~service_rate:1.25 ~buffer:1.0)
+      .Solver.loss
+  in
+  check_close ~eps:1e-6 "direct vs fft" (solve `Direct) (solve `Fft)
+
+let test_solver_cold_restart_same_answer () =
+  let m = pareto_model ~theta:0.05 ~alpha:1.4 ~cutoff:0.5 () in
+  let warm = Solver.solve m ~service_rate:1.25 ~buffer:2.0 in
+  let cold =
+    Solver.solve
+      ~params:{ Solver.default_params with warm_restart = false }
+      m ~service_rate:1.25 ~buffer:2.0
+  in
+  (* Both are certified bounds on the same quantity: intervals overlap. *)
+  Alcotest.(check bool) "intervals overlap" true
+    (warm.Solver.lower_bound <= cold.Solver.upper_bound +. 1e-12
+    && cold.Solver.lower_bound <= warm.Solver.upper_bound +. 1e-12)
+
+let test_solver_negligible_loss_reports_zero () =
+  (* Deep-buffer low-utilization case: upper bound sinks below 1e-10. *)
+  let m = exp_model 0.01 in
+  let r = Solver.solve m ~service_rate:1.9 ~buffer:50.0 in
+  check_close "zero" 0.0 r.Solver.loss;
+  Alcotest.(check bool) "converged" true r.Solver.converged
+
+let test_solver_rejects_bad_input () =
+  let m = exp_model 1.0 in
+  Alcotest.check_raises "service rate"
+    (Invalid_argument "Solver.solve: service rate must be positive") (fun () ->
+      ignore (Solver.solve m ~service_rate:0.0 ~buffer:1.0));
+  Alcotest.check_raises "buffer"
+    (Invalid_argument "Solver.solve: buffer must be nonnegative") (fun () ->
+      ignore (Solver.solve m ~service_rate:1.0 ~buffer:(-1.0)))
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots (Fig. 2 machinery) *)
+
+let test_snapshots_monotone_in_n () =
+  let m = pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:5.0 () in
+  let snaps =
+    Solver.iterate_snapshots m ~service_rate:1.25 ~buffer:2.0 ~bins:100
+      ~at:[ 5; 10; 30 ]
+  in
+  Alcotest.(check int) "three snapshots" 3 (List.length snaps);
+  let losses_lower = List.map (fun s -> s.Solver.lower_loss) snaps in
+  let losses_upper = List.map (fun s -> s.Solver.upper_loss) snaps in
+  (* Proposition II.1: lower loss increasing in n, upper decreasing. *)
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-12 && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "lower increasing" true (increasing losses_lower);
+  Alcotest.(check bool) "upper decreasing" true
+    (increasing (List.rev losses_upper));
+  (* Bracket at every n. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "bracket" true
+        (s.Solver.lower_loss <= s.Solver.upper_loss +. 1e-12))
+    snaps
+
+let test_snapshots_pmfs_are_distributions () =
+  let m = pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:5.0 () in
+  let snaps =
+    Solver.iterate_snapshots m ~service_rate:1.25 ~buffer:2.0 ~bins:50
+      ~at:[ 0; 7 ]
+  in
+  List.iter
+    (fun s ->
+      check_close ~eps:1e-9 "lower mass" 1.0
+        (Lrd_numerics.Array_ops.sum s.Solver.lower_pmf);
+      check_close ~eps:1e-9 "upper mass" 1.0
+        (Lrd_numerics.Array_ops.sum s.Solver.upper_pmf))
+    snaps;
+  (* At n = 0 the chains are the initial empty/full distributions. *)
+  match snaps with
+  | first :: _ ->
+      check_close "starts empty" 1.0 first.Solver.lower_pmf.(0);
+      check_close "starts full" 1.0 first.Solver.upper_pmf.(50)
+  | [] -> Alcotest.fail "no snapshots"
+
+let test_snapshots_reject_unsorted () =
+  let m = exp_model 1.0 in
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Solver.iterate_snapshots: iteration list must be ascending")
+    (fun () ->
+      ignore
+        (Solver.iterate_snapshots m ~service_rate:1.25 ~buffer:1.0 ~bins:10
+           ~at:[ 10; 5 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Occupancy distribution *)
+
+let test_occupancy_pmfs_are_distributions () =
+  let m = pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:5.0 () in
+  let _, occ = Solver.solve_detailed m ~service_rate:1.25 ~buffer:2.0 in
+  check_close ~eps:1e-9 "lower mass" 1.0
+    (Lrd_numerics.Array_ops.sum occ.Solver.lower_pmf);
+  check_close ~eps:1e-9 "upper mass" 1.0
+    (Lrd_numerics.Array_ops.sum occ.Solver.upper_pmf);
+  Alcotest.(check bool) "step positive" true (occ.Solver.step > 0.0)
+
+let test_occupancy_bounds_order () =
+  let m = pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:5.0 () in
+  let _, occ = Solver.solve_detailed m ~service_rate:1.25 ~buffer:2.0 in
+  let lo, hi = Solver.mean_occupancy occ in
+  Alcotest.(check bool) "mean ordered" true (lo <= hi);
+  List.iter
+    (fun threshold ->
+      let l, h = Solver.occupancy_ccdf occ ~threshold in
+      if l > h +. 1e-12 then Alcotest.failf "ccdf order at %g" threshold)
+    [ 0.0; 0.5; 1.0; 1.5; 2.0 ];
+  let q_lo, q_hi = Solver.occupancy_quantile occ ~p:0.9 in
+  Alcotest.(check bool) "quantile ordered" true (q_lo <= q_hi)
+
+let test_occupancy_brackets_simulation () =
+  (* The certified occupancy intervals must contain the Monte Carlo
+     epoch-point occupancy statistics. *)
+  let m = pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:5.0 () in
+  let c = 1.25 and buffer = 2.0 in
+  let _, occ = Solver.solve_detailed m ~service_rate:c ~buffer in
+  let rng = Lrd_rng.Rng.create ~seed:71L in
+  let sim = Lrd_fluidsim.Queue_sim.make ~service_rate:c ~buffer () in
+  let samples =
+    Array.map
+      (fun (rate, duration) ->
+        let q = Lrd_fluidsim.Queue_sim.occupancy sim in
+        ignore (Lrd_fluidsim.Queue_sim.offer sim ~rate ~duration);
+        q)
+      (Model.sample_epochs m rng ~n:500_000)
+  in
+  let lo, hi = Solver.mean_occupancy occ in
+  let simulated = Lrd_numerics.Array_ops.mean samples in
+  (* Allow a little Monte Carlo slack at the interval edges. *)
+  Alcotest.(check bool) "mean inside" true
+    (simulated >= lo -. 0.02 && simulated <= hi +. 0.02);
+  List.iter
+    (fun threshold ->
+      let l, h = Solver.occupancy_ccdf occ ~threshold in
+      let s =
+        float_of_int
+          (Array.fold_left
+             (fun acc q -> if q >= threshold then acc + 1 else acc)
+             0 samples)
+        /. float_of_int (Array.length samples)
+      in
+      if not (s >= l -. 0.02 && s <= h +. 0.02) then
+        Alcotest.failf "ccdf at %g: sim %.4f outside [%.4f, %.4f]" threshold
+          s l h)
+    [ 0.2; 1.0; 1.8 ]
+
+let test_occupancy_zero_buffer_point_mass () =
+  let m = exp_model 1.0 in
+  let _, occ = Solver.solve_detailed m ~service_rate:1.25 ~buffer:0.0 in
+  check_close "mass at zero" 1.0 occ.Solver.lower_pmf.(0);
+  let lo, hi = Solver.mean_occupancy occ in
+  check_close "mean lo" 0.0 lo;
+  check_close "mean hi" 0.0 hi
+
+let test_virtual_delay_scales () =
+  let m = pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:5.0 () in
+  let _, occ = Solver.solve_detailed m ~service_rate:1.25 ~buffer:2.0 in
+  let mean_lo, _ = Solver.mean_occupancy occ in
+  let delay_lo, _ = Solver.mean_virtual_delay occ ~service_rate:1.25 in
+  check_close ~eps:1e-12 "delay = q / c" (mean_lo /. 1.25) delay_lo
+
+(* ------------------------------------------------------------------ *)
+(* Provision *)
+
+let provision_model =
+  lazy
+    (let marginal =
+       Lrd_dist.Marginal.of_points [ (0.0, 0.6); (1.5, 0.3); (3.0, 0.1) ]
+     in
+     Model.cutoff_pareto ~marginal ~theta:0.05 ~alpha:1.5 ~cutoff:2.0)
+
+let test_provision_buffer_for_loss () =
+  let model = Lazy.force provision_model in
+  match
+    Provision.buffer_for_loss model ~utilization:0.6 ~target:1e-4
+  with
+  | Provision.Unachievable_within _ -> Alcotest.fail "should be achievable"
+  | Provision.Achieved b ->
+      Alcotest.(check bool) "positive" true (b >= 0.0);
+      (* The returned buffer meets the target... *)
+      let loss =
+        (Solver.solve_utilization model ~utilization:0.6 ~buffer_seconds:b)
+          .Solver.loss
+      in
+      Alcotest.(check bool) "meets target" true (loss <= 1e-4);
+      (* ... and a much smaller buffer does not. *)
+      if b > 0.01 then begin
+        let loss_small =
+          (Solver.solve_utilization model ~utilization:0.6
+             ~buffer_seconds:(b /. 4.0))
+            .Solver.loss
+        in
+        Alcotest.(check bool) "tight-ish" true (loss_small > 1e-4)
+      end
+
+let test_provision_buffer_unachievable () =
+  (* Untruncated LRD source: the buffer axis cannot reach a deep target
+     within a small search limit. *)
+  let marginal = Lrd_dist.Marginal.of_points [ (0.0, 0.5); (2.0, 0.5) ] in
+  let model =
+    Model.cutoff_pareto ~marginal ~theta:0.1 ~alpha:1.2
+      ~cutoff:Float.infinity
+  in
+  match
+    Provision.buffer_for_loss ~max_buffer_seconds:2.0 model ~utilization:0.8
+      ~target:1e-8
+  with
+  | Provision.Unachievable_within limit -> check_close "limit" 2.0 limit
+  | Provision.Achieved b -> Alcotest.failf "unexpectedly achieved at %g" b
+
+let test_provision_utilization_for_loss () =
+  let model = Lazy.force provision_model in
+  match
+    Provision.utilization_for_loss model ~buffer_seconds:0.5 ~target:1e-4
+  with
+  | Provision.Unachievable_within _ -> Alcotest.fail "should be achievable"
+  | Provision.Achieved u ->
+      Alcotest.(check bool) "in range" true (u > 0.0 && u < 1.0);
+      let loss =
+        (Solver.solve_utilization model ~utilization:u ~buffer_seconds:0.5)
+          .Solver.loss
+      in
+      Alcotest.(check bool) "meets target" true (loss <= 1e-4)
+
+let test_provision_streams_for_loss () =
+  let model = Lazy.force provision_model in
+  match
+    Provision.streams_for_loss model ~utilization:0.7 ~buffer_seconds:0.2
+      ~target:1e-5
+  with
+  | Provision.Unachievable_within _ -> Alcotest.fail "should be achievable"
+  | Provision.Achieved n ->
+      let n = int_of_float n in
+      Alcotest.(check bool) "count positive" true (n >= 1);
+      let loss k =
+        let marginal =
+          Lrd_dist.Marginal.superpose model.Model.marginal ~n:k
+        in
+        (Solver.solve_utilization
+           { model with Model.marginal }
+           ~utilization:0.7 ~buffer_seconds:0.2)
+          .Solver.loss
+      in
+      Alcotest.(check bool) "meets target" true (loss n <= 1e-5);
+      if n > 1 then
+        Alcotest.(check bool) "minimal" true (loss (n - 1) > 1e-5)
+
+let test_provision_rejects_bad_target () =
+  let model = Lazy.force provision_model in
+  Alcotest.check_raises "too deep"
+    (Invalid_argument "Provision: target loss must lie in [1e-10, 1)")
+    (fun () ->
+      ignore (Provision.buffer_for_loss model ~utilization:0.5 ~target:1e-12))
+
+(* ------------------------------------------------------------------ *)
+(* Asymptotics *)
+
+let test_kappa_values () =
+  check_close ~eps:1e-12 "kappa 0.5" 0.5 (Asymptotics.kappa 0.5);
+  (* H^H (1-H)^(1-H) at H = 0.8. *)
+  check_close ~eps:1e-12 "kappa 0.8"
+    ((0.8 ** 0.8) *. (0.2 ** 0.2))
+    (Asymptotics.kappa 0.8)
+
+let test_fbm_tail_shape () =
+  let tail level =
+    Asymptotics.fbm_tail ~mean:5.0 ~variance_coefficient:0.5 ~hurst:0.8
+      ~service_rate:6.0 ~level
+  in
+  Alcotest.(check bool) "decreasing" true (tail 1.0 > tail 2.0);
+  (* Weibull shape: -log P linear in b^(2-2H). *)
+  let x1 = -.log (tail 1.0) and x4 = -.log (tail 4.0) in
+  check_close ~eps:1e-9 "weibull scaling" (4.0 ** 0.4) (x4 /. x1);
+  check_close "exponent" 0.4 (Asymptotics.fbm_tail_exponent ~hurst:0.8)
+
+let test_onoff_tail_shape () =
+  let tail level =
+    Asymptotics.onoff_tail ~peak:2.0 ~mean_on:0.5 ~mean_off:0.5 ~alpha:1.5
+      ~service_rate:1.4 ~level
+  in
+  Alcotest.(check bool) "decreasing" true (tail 1.0 > tail 10.0);
+  (* Hyperbolic: P(b) b^(alpha-1) converges to a constant. *)
+  let r1 = tail 100.0 *. (100.0 ** 0.5) in
+  let r2 = tail 10_000.0 *. (10_000.0 ** 0.5) in
+  check_close ~eps:0.1 "hyperbolic scaling" r1 r2
+
+let test_exponential_decay_rate_known_case () =
+  (* Two rates 0 and 2, exponential epochs mean 1, c = 1.25:
+     0.5 / (1 + 1.25 d) + 0.5 / (1 - 0.75 d) = 1
+     <=> 0.25 d = 0.9375 d^2  =>  d = 4/15. *)
+  let marginal = Lrd_dist.Marginal.of_points [ (0.0, 0.5); (2.0, 0.5) ] in
+  let delta =
+    Asymptotics.exponential_decay_rate ~marginal ~mean_epoch:1.0
+      ~service_rate:1.25
+  in
+  check_close ~eps:1e-9 "closed form" (4.0 /. 15.0) delta
+
+let test_exponential_decay_rate_matches_simulation () =
+  (* Empirical log-tail slope of the infinite-buffer occupancy. *)
+  let marginal = Lrd_dist.Marginal.of_points [ (0.0, 0.5); (2.0, 0.5) ] in
+  let mean_epoch = 1.0 and c = 1.25 in
+  let delta =
+    Asymptotics.exponential_decay_rate ~marginal ~mean_epoch ~service_rate:c
+  in
+  let model =
+    Model.create ~marginal
+      ~interarrival:(Lrd_dist.Interarrival.exponential ~mean:mean_epoch)
+  in
+  let rng = Lrd_rng.Rng.create ~seed:13L in
+  let sim = Lrd_fluidsim.Queue_sim.make ~service_rate:c ~buffer:1e9 () in
+  let samples =
+    Array.map
+      (fun (rate, duration) ->
+        ignore (Lrd_fluidsim.Queue_sim.offer sim ~rate ~duration);
+        Lrd_fluidsim.Queue_sim.occupancy sim)
+      (Model.sample_epochs model rng ~n:400_000)
+  in
+  let ccdf b =
+    float_of_int
+      (Array.fold_left (fun acc q -> if q > b then acc + 1 else acc) 0 samples)
+    /. float_of_int (Array.length samples)
+  in
+  let slope = (log (ccdf 1.0) -. log (ccdf 4.0)) /. 3.0 in
+  check_close ~eps:0.1 "empirical decay" delta slope
+
+let test_exponential_decay_rate_rejects_unstable () =
+  let marginal = Lrd_dist.Marginal.of_points [ (0.0, 0.5); (2.0, 0.5) ] in
+  Alcotest.check_raises "unstable"
+    (Invalid_argument "Asymptotics.exponential_decay_rate: unstable queue")
+    (fun () ->
+      ignore
+        (Asymptotics.exponential_decay_rate ~marginal ~mean_epoch:1.0
+           ~service_rate:0.9))
+
+(* ------------------------------------------------------------------ *)
+(* Fitting *)
+
+let test_fitting_for_buffer () =
+  let rng = Lrd_rng.Rng.create ~seed:303L in
+  let trace = Lrd_trace.Video.generate_short rng ~n:16_384 in
+  let model, cutoff =
+    Fitting.for_buffer ~hurst:0.83 trace ~utilization:0.8
+      ~buffer_seconds:0.1
+  in
+  Alcotest.(check bool) "finite cutoff" true
+    (Float.is_finite cutoff && cutoff > 0.0);
+  (* The model's covariance vanishes beyond the fitted horizon. *)
+  check_close "cutoff respected" 0.0 (Model.covariance model (cutoff *. 1.01));
+  Alcotest.(check bool) "correlated inside" true
+    (Model.covariance model (cutoff /. 2.0) > 0.0);
+  (* Marginal mean preserved. *)
+  check_close ~eps:1e-9 "marginal mean" (Lrd_trace.Trace.mean trace)
+    (Model.mean_rate model);
+  (* The horizon grows linearly with the design buffer. *)
+  let _, cutoff4 =
+    Fitting.for_buffer ~hurst:0.83 trace ~utilization:0.8
+      ~buffer_seconds:0.4
+  in
+  check_close ~eps:1e-6 "linear in buffer" (4.0 *. cutoff) cutoff4
+
+let test_fitting_prediction_tracks_full_model () =
+  let rng = Lrd_rng.Rng.create ~seed:304L in
+  let trace = Lrd_trace.Video.generate_short rng ~n:16_384 in
+  let utilization = 0.8 and buffer_seconds = 0.05 in
+  let fitted, _ =
+    Fitting.for_buffer ~hurst:0.83 trace ~utilization ~buffer_seconds
+  in
+  let full = Model.fit_from_trace ~hurst:0.83 trace in
+  let solve m =
+    (Solver.solve_utilization m ~utilization ~buffer_seconds).Solver.loss
+  in
+  let full_loss = solve full and fitted_loss = solve fitted in
+  (* Within a factor of ~2 of the full self-similar fit at the design
+     buffer (the loss-vs-cutoff curve converges hyperbolically). *)
+  Alcotest.(check bool) "tracks full model" true
+    (fitted_loss > full_loss /. 2.5 && fitted_loss <= full_loss *. 1.5)
+
+(* ------------------------------------------------------------------ *)
+(* Horizon *)
+
+let test_horizon_estimate_linear_in_buffer () =
+  let est b =
+    Horizon.estimate ~buffer:b ~mean_epoch:0.1 ~epoch_std:0.2 ~rate_std:1.5 ()
+  in
+  check_close ~eps:1e-9 "linearity" (2.0 *. est 1.0) (est 2.0);
+  check_close ~eps:1e-9 "linearity x5" (5.0 *. est 1.0) (est 5.0)
+
+let test_horizon_estimate_formula () =
+  (* Eq. 26 evaluated by hand. *)
+  let p = 0.05 in
+  let expected =
+    3.0 *. 0.1
+    /. (2.0 *. sqrt 2.0 *. 0.2 *. 1.5 *. Lrd_numerics.Special.erf_inv p)
+  in
+  check_close ~eps:1e-12 "eq. 26" expected
+    (Horizon.estimate ~no_reset_probability:p ~buffer:3.0 ~mean_epoch:0.1
+       ~epoch_std:0.2 ~rate_std:1.5 ())
+
+let test_horizon_estimate_decreasing_in_p () =
+  (* Tolerating a larger no-reset probability shortens the horizon. *)
+  let est p =
+    Horizon.estimate ~no_reset_probability:p ~buffer:1.0 ~mean_epoch:0.1
+      ~epoch_std:0.2 ~rate_std:1.5 ()
+  in
+  Alcotest.(check bool) "decreasing" true (est 0.01 > est 0.2)
+
+let test_horizon_estimate_for_model () =
+  (* Finite-cutoff law: finite variance, positive horizon. *)
+  let m = pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:5.0 () in
+  let h = Horizon.estimate_for_model m ~buffer:2.0 in
+  Alcotest.(check bool) "finite positive" true (h > 0.0 && Float.is_finite h);
+  (* Infinite-variance law: eq. 26 degenerates to zero. *)
+  let inf_model = pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:Float.infinity () in
+  check_close "degenerate" 0.0 (Horizon.estimate_for_model inf_model ~buffer:2.0)
+
+let test_horizon_detect () =
+  let series =
+    [| (1.0, 1e-4); (2.0, 5e-4); (4.0, 7e-4); (8.0, 1e-3); (16.0, 1.05e-3) |]
+  in
+  (match Horizon.detect series with
+  | Some ch -> check_close "detected" 8.0 ch
+  | None -> Alcotest.fail "no horizon detected");
+  (* A flat series detects at its first point. *)
+  (match Horizon.detect [| (1.0, 1e-3); (2.0, 1e-3); (4.0, 1e-3) |] with
+  | Some ch -> check_close "flat" 1.0 ch
+  | None -> Alcotest.fail "flat series must detect");
+  Alcotest.(check (option (float 1e-9))) "empty" None (Horizon.detect [||])
+
+let test_horizon_detect_with_zeros () =
+  (* Zeros before the flat region must not count as flat. *)
+  let series = [| (1.0, 0.0); (2.0, 7e-4); (4.0, 1e-3); (8.0, 1e-3) |] in
+  match Horizon.detect series with
+  | Some ch -> check_close "skips zero" 4.0 ch
+  | None -> Alcotest.fail "must detect"
+
+let test_critical_time_scale () =
+  (* t* = (B / drift) H / (1 - H). *)
+  check_close ~eps:1e-12 "formula" (2.0 /. 0.5 *. (0.8 /. 0.2))
+    (Horizon.critical_time_scale ~hurst:0.8 ~buffer:2.0 ~drift:0.5);
+  (* Linear in the buffer. *)
+  check_close ~eps:1e-12 "linear"
+    (3.0 *. Horizon.critical_time_scale ~hurst:0.7 ~buffer:1.0 ~drift:0.4)
+    (Horizon.critical_time_scale ~hurst:0.7 ~buffer:3.0 ~drift:0.4);
+  (* Growing in H: stronger persistence stretches the dominant scale. *)
+  Alcotest.(check bool) "grows with H" true
+    (Horizon.critical_time_scale ~hurst:0.9 ~buffer:1.0 ~drift:0.4
+    > Horizon.critical_time_scale ~hurst:0.6 ~buffer:1.0 ~drift:0.4);
+  Alcotest.check_raises "bad hurst"
+    (Invalid_argument "Horizon.critical_time_scale: hurst must lie in (0, 1)")
+    (fun () ->
+      ignore (Horizon.critical_time_scale ~hurst:1.0 ~buffer:1.0 ~drift:1.0))
+
+let test_horizon_detect_rejects_unsorted () =
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Horizon.detect: cutoffs must be strictly increasing")
+    (fun () -> ignore (Horizon.detect [| (2.0, 1.0); (1.0, 1.0) |]))
+
+let test_horizon_empirical_vs_solver () =
+  (* Loss as a function of the cutoff must flatten: the detected CH at a
+     small buffer should come well before the largest cutoff tried. *)
+  let loss cutoff =
+    let m = pareto_model ~theta:0.05 ~alpha:1.4 ~cutoff () in
+    (Solver.solve m ~service_rate:1.25 ~buffer:0.5).Solver.loss
+  in
+  let cutoffs = [| 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 |] in
+  let series = Array.map (fun tc -> (tc, loss tc)) cutoffs in
+  match Horizon.detect ~flatness:0.3 series with
+  | Some ch -> Alcotest.(check bool) "flattens early" true (ch <= 16.0)
+  | None -> Alcotest.fail "loss never flattened in the cutoff"
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let small_marginal_gen =
+  QCheck.Gen.(
+    list_size (int_range 2 6) (pair (float_range 0.0 4.0) (float_range 0.1 2.0)))
+
+let prop_bounds_always_bracket =
+  QCheck.Test.make ~name:"solver bounds always bracket the midpoint" ~count:25
+    (QCheck.make
+       QCheck.Gen.(
+         triple small_marginal_gen (float_range 0.3 3.0) (float_range 0.2 3.0)))
+    (fun (points, buffer, mean_epoch) ->
+      let marginal = Lrd_dist.Marginal.of_points points in
+      let model =
+        Model.create ~marginal
+          ~interarrival:(Lrd_dist.Interarrival.exponential ~mean:mean_epoch)
+      in
+      let c = Lrd_dist.Marginal.mean marginal *. 1.3 +. 0.1 in
+      let r =
+        Solver.solve
+          ~params:{ Solver.default_params with max_iterations = 2_000 }
+          model ~service_rate:c ~buffer
+      in
+      let bracketed =
+        (* The paper's protocol reports 0 when the upper bound falls
+           below 1e-10, which may sit under a tiny positive lower
+           bound; that case is legitimate. *)
+        (r.Solver.loss = 0.0 && r.Solver.upper_bound < 1e-10)
+        || (r.Solver.lower_bound <= r.Solver.loss +. 1e-12
+           && r.Solver.loss <= r.Solver.upper_bound +. 1e-12)
+      in
+      bracketed
+      && r.Solver.lower_bound >= -1e-12
+      && r.Solver.upper_bound <= 1.0 +. 1e-12)
+
+let prop_bounds_bracket_pareto_epochs =
+  QCheck.Test.make ~name:"solver bounds bracket under truncated Pareto epochs"
+    ~count:8
+    (QCheck.make
+       QCheck.Gen.(
+         quad small_marginal_gen (float_range 0.05 0.5)
+           (float_range 1.1 1.9) (float_range 0.5 10.0)))
+    (fun (points, theta, alpha, cutoff) ->
+      let marginal = Lrd_dist.Marginal.of_points points in
+      let model = Model.cutoff_pareto ~marginal ~theta ~alpha ~cutoff in
+      let c = (Lrd_dist.Marginal.mean marginal *. 1.25) +. 0.1 in
+      let r =
+        Solver.solve
+          ~params:
+            {
+              Solver.default_params with
+              max_iterations = 3_000;
+              max_bins = 1_024;
+            }
+          model ~service_rate:c ~buffer:1.5
+      in
+      let bracketed =
+        (r.Solver.loss = 0.0 && r.Solver.upper_bound < 1e-10)
+        || (r.Solver.lower_bound <= r.Solver.loss +. 1e-12
+           && r.Solver.loss <= r.Solver.upper_bound +. 1e-12)
+      in
+      bracketed && r.Solver.lower_bound >= -1e-12
+      && r.Solver.upper_bound <= 1.0 +. 1e-12)
+
+let prop_covariance_nonnegative_decreasing =
+  QCheck.Test.make ~name:"model covariance is nonnegative and nonincreasing"
+    ~count:50
+    (QCheck.make
+       QCheck.Gen.(
+         triple (float_range 0.05 2.0) (float_range 1.05 1.95)
+           (float_range 0.5 20.0)))
+    (fun (theta, alpha, cutoff) ->
+      let m = pareto_model ~theta ~alpha ~cutoff () in
+      let ts = Lrd_numerics.Array_ops.linspace 0.0 (cutoff +. 2.0) 40 in
+      let ok = ref true in
+      let prev = ref Float.infinity in
+      Array.iter
+        (fun t ->
+          let v = Model.covariance m t in
+          if v < -1e-12 || v > !prev +. 1e-12 then ok := false;
+          prev := v)
+        ts;
+      !ok)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "core"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "hurst-alpha mapping" `Quick
+            test_hurst_alpha_mapping;
+          Alcotest.test_case "moments (eqs. 2, 4)" `Quick test_model_moments;
+          Alcotest.test_case "covariance cutoff (eq. 8)" `Quick
+            test_covariance_drops_at_cutoff;
+          Alcotest.test_case "covariance closed form (eq. 8)" `Quick
+            test_covariance_formula_eq8;
+          Alcotest.test_case "covariance vs Monte Carlo" `Slow
+            test_covariance_matches_monte_carlo;
+          Alcotest.test_case "sample epochs statistics" `Slow
+            test_sample_epochs_statistics;
+          Alcotest.test_case "fit from trace" `Slow
+            test_fit_from_trace_recovers_marginal;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "mean increment" `Quick test_workload_mean;
+          Alcotest.test_case "two-sided survival (deterministic)" `Quick
+            test_workload_survival_two_sided;
+          Alcotest.test_case "survival monotone and bounded" `Quick
+            test_workload_survival_monotone_and_bounded;
+          Alcotest.test_case "max increment" `Quick test_workload_max_increment;
+          Alcotest.test_case "expected overflow: paper closed form" `Quick
+            test_expected_overflow_closed_form;
+          Alcotest.test_case "expected overflow: Monte Carlo" `Slow
+            test_expected_overflow_monte_carlo;
+          Alcotest.test_case "expected overflow monotone" `Quick
+            test_expected_overflow_monotone_in_occupancy;
+          Alcotest.test_case "zero-buffer loss" `Quick
+            test_zero_buffer_loss_formula;
+          Alcotest.test_case "discretized bins are pmfs" `Quick
+            test_discretize_bins_sum_to_one;
+          Alcotest.test_case "floor/ceiling stochastic ordering" `Quick
+            test_discretize_stochastic_ordering;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "zero buffer closed form" `Quick
+            test_solver_zero_buffer_closed_form;
+          Alcotest.test_case "underloaded queue" `Quick
+            test_solver_underloaded_is_zero;
+          Alcotest.test_case "bounds bracket" `Quick test_solver_bounds_bracket;
+          Alcotest.test_case "matches simulation (exponential)" `Slow
+            test_solver_matches_simulation_exponential;
+          Alcotest.test_case "matches simulation (truncated pareto)" `Slow
+            test_solver_matches_simulation_truncated_pareto;
+          Alcotest.test_case "loss decreasing in buffer" `Quick
+            test_solver_loss_decreasing_in_buffer;
+          Alcotest.test_case "loss increasing in cutoff" `Quick
+            test_solver_loss_increasing_in_cutoff;
+          Alcotest.test_case "loss increasing in utilization" `Quick
+            test_solver_loss_increasing_in_utilization;
+          Alcotest.test_case "respects max iterations" `Quick
+            test_solver_respects_max_iterations;
+          Alcotest.test_case "direct matches fft" `Quick
+            test_solver_direct_matches_fft;
+          Alcotest.test_case "cold restart consistent" `Quick
+            test_solver_cold_restart_same_answer;
+          Alcotest.test_case "negligible loss reports zero" `Quick
+            test_solver_negligible_loss_reports_zero;
+          Alcotest.test_case "rejects bad input" `Quick
+            test_solver_rejects_bad_input;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "monotone in n (Prop II.1)" `Quick
+            test_snapshots_monotone_in_n;
+          Alcotest.test_case "pmfs are distributions" `Quick
+            test_snapshots_pmfs_are_distributions;
+          Alcotest.test_case "rejects unsorted" `Quick
+            test_snapshots_reject_unsorted;
+        ] );
+      ( "occupancy",
+        [
+          Alcotest.test_case "pmfs are distributions" `Quick
+            test_occupancy_pmfs_are_distributions;
+          Alcotest.test_case "bound ordering" `Quick
+            test_occupancy_bounds_order;
+          Alcotest.test_case "brackets simulation" `Slow
+            test_occupancy_brackets_simulation;
+          Alcotest.test_case "zero buffer point mass" `Quick
+            test_occupancy_zero_buffer_point_mass;
+          Alcotest.test_case "virtual delay scaling" `Quick
+            test_virtual_delay_scales;
+        ] );
+      ( "provision",
+        [
+          Alcotest.test_case "buffer for loss" `Slow
+            test_provision_buffer_for_loss;
+          Alcotest.test_case "buffer unachievable for LRD" `Slow
+            test_provision_buffer_unachievable;
+          Alcotest.test_case "utilization for loss" `Slow
+            test_provision_utilization_for_loss;
+          Alcotest.test_case "streams for loss" `Slow
+            test_provision_streams_for_loss;
+          Alcotest.test_case "rejects bad target" `Quick
+            test_provision_rejects_bad_target;
+        ] );
+      ( "asymptotics",
+        [
+          Alcotest.test_case "kappa" `Quick test_kappa_values;
+          Alcotest.test_case "fBm Weibull shape" `Quick test_fbm_tail_shape;
+          Alcotest.test_case "on/off hyperbolic shape" `Quick
+            test_onoff_tail_shape;
+          Alcotest.test_case "decay rate closed form" `Quick
+            test_exponential_decay_rate_known_case;
+          Alcotest.test_case "decay rate vs simulation" `Slow
+            test_exponential_decay_rate_matches_simulation;
+          Alcotest.test_case "rejects unstable" `Quick
+            test_exponential_decay_rate_rejects_unstable;
+        ] );
+      ( "fitting",
+        [
+          Alcotest.test_case "for_buffer structure" `Slow
+            test_fitting_for_buffer;
+          Alcotest.test_case "prediction tracks full model" `Slow
+            test_fitting_prediction_tracks_full_model;
+        ] );
+      ( "horizon",
+        [
+          Alcotest.test_case "linear in buffer" `Quick
+            test_horizon_estimate_linear_in_buffer;
+          Alcotest.test_case "eq. 26 by hand" `Quick
+            test_horizon_estimate_formula;
+          Alcotest.test_case "decreasing in p" `Quick
+            test_horizon_estimate_decreasing_in_p;
+          Alcotest.test_case "estimate for model" `Quick
+            test_horizon_estimate_for_model;
+          Alcotest.test_case "detect" `Quick test_horizon_detect;
+          Alcotest.test_case "detect skips zeros" `Quick
+            test_horizon_detect_with_zeros;
+          Alcotest.test_case "critical time scale" `Quick
+            test_critical_time_scale;
+          Alcotest.test_case "detect rejects unsorted" `Quick
+            test_horizon_detect_rejects_unsorted;
+          Alcotest.test_case "empirical flattening (solver)" `Slow
+            test_horizon_empirical_vs_solver;
+        ] );
+      ( "properties",
+        qcheck
+          [
+            prop_bounds_always_bracket;
+            prop_bounds_bracket_pareto_epochs;
+            prop_covariance_nonnegative_decreasing;
+          ] );
+    ]

@@ -1,0 +1,612 @@
+open Lrd_numerics
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1.0 +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.17g, got %.17g" msg expected actual
+
+let rng_state = ref 123456789
+
+let next_float () =
+  (* Tiny deterministic LCG for test data (keeps tests seed-stable). *)
+  rng_state := (!rng_state * 1103515245) + 12345;
+  float_of_int (!rng_state land 0xFFFFFF) /. float_of_int 0xFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* FFT *)
+
+let test_power_of_two () =
+  Alcotest.(check bool) "1" true (Fft.is_power_of_two 1);
+  Alcotest.(check bool) "2" true (Fft.is_power_of_two 2);
+  Alcotest.(check bool) "1024" true (Fft.is_power_of_two 1024);
+  Alcotest.(check bool) "0" false (Fft.is_power_of_two 0);
+  Alcotest.(check bool) "3" false (Fft.is_power_of_two 3);
+  Alcotest.(check bool) "-4" false (Fft.is_power_of_two (-4));
+  Alcotest.(check int) "next 1" 1 (Fft.next_power_of_two 0);
+  Alcotest.(check int) "next 5" 8 (Fft.next_power_of_two 5);
+  Alcotest.(check int) "next 8" 8 (Fft.next_power_of_two 8)
+
+let test_fft_matches_naive_dft () =
+  let n = 64 in
+  let re = Array.init n (fun _ -> next_float () -. 0.5) in
+  let im = Array.init n (fun _ -> next_float () -. 0.5) in
+  let expect_re, expect_im = Fft.dft_naive ~re ~im in
+  Fft.forward ~re ~im;
+  for k = 0 to n - 1 do
+    check_close ~eps:1e-10 (Printf.sprintf "re[%d]" k) expect_re.(k) re.(k);
+    check_close ~eps:1e-10 (Printf.sprintf "im[%d]" k) expect_im.(k) im.(k)
+  done
+
+let test_fft_roundtrip () =
+  let n = 256 in
+  let re = Array.init n (fun _ -> next_float ()) in
+  let im = Array.init n (fun _ -> next_float ()) in
+  let orig_re = Array.copy re and orig_im = Array.copy im in
+  Fft.forward ~re ~im;
+  Fft.inverse ~re ~im;
+  for k = 0 to n - 1 do
+    check_close ~eps:1e-12 "roundtrip re" orig_re.(k) re.(k);
+    check_close ~eps:1e-12 "roundtrip im" orig_im.(k) im.(k)
+  done
+
+let test_fft_impulse () =
+  (* The transform of a unit impulse is all ones. *)
+  let n = 16 in
+  let re = Array.make n 0.0 and im = Array.make n 0.0 in
+  re.(0) <- 1.0;
+  Fft.forward ~re ~im;
+  Array.iter (fun v -> check_close "impulse re" 1.0 v) re;
+  Array.iter (fun v -> check_close "impulse im" 0.0 v) im
+
+let test_fft_constant () =
+  (* The transform of a constant has all energy in bin 0. *)
+  let n = 32 in
+  let re = Array.make n 2.5 and im = Array.make n 0.0 in
+  Fft.forward ~re ~im;
+  check_close "dc" (2.5 *. float_of_int n) re.(0);
+  for k = 1 to n - 1 do
+    check_close "zero bin re" 0.0 re.(k);
+    check_close "zero bin im" 0.0 im.(k)
+  done
+
+let test_fft_parseval () =
+  let n = 128 in
+  let re = Array.init n (fun _ -> next_float () -. 0.5) in
+  let im = Array.make n 0.0 in
+  let time_energy =
+    Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 re
+  in
+  Fft.forward ~re ~im;
+  let freq_energy = ref 0.0 in
+  for k = 0 to n - 1 do
+    freq_energy := !freq_energy +. (re.(k) *. re.(k)) +. (im.(k) *. im.(k))
+  done;
+  check_close ~eps:1e-11 "parseval" time_energy
+    (!freq_energy /. float_of_int n)
+
+let test_fft_rejects_bad_input () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Fft: re and im must have the same length") (fun () ->
+      Fft.forward ~re:(Array.make 4 0.0) ~im:(Array.make 8 0.0));
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Fft: length must be a power of two") (fun () ->
+      Fft.forward ~re:(Array.make 12 0.0) ~im:(Array.make 12 0.0))
+
+(* ------------------------------------------------------------------ *)
+(* Convolution *)
+
+let test_convolution_small_exact () =
+  let c = Convolution.direct [| 1.0; 2.0 |] [| 3.0; 4.0; 5.0 |] in
+  Alcotest.(check int) "length" 4 (Array.length c);
+  check_close "c0" 3.0 c.(0);
+  check_close "c1" 10.0 c.(1);
+  check_close "c2" 13.0 c.(2);
+  check_close "c3" 10.0 c.(3)
+
+let test_convolution_fft_matches_direct () =
+  let a = Array.init 37 (fun _ -> next_float () -. 0.3) in
+  let b = Array.init 101 (fun _ -> next_float () -. 0.6) in
+  let d = Convolution.direct a b and f = Convolution.fft a b in
+  Alcotest.(check int) "length" (Array.length d) (Array.length f);
+  Array.iteri (fun i v -> check_close ~eps:1e-10 "cell" v f.(i)) d
+
+let test_convolution_identity () =
+  let a = Array.init 20 (fun _ -> next_float ()) in
+  let c = Convolution.fft a [| 1.0 |] in
+  Array.iteri (fun i v -> check_close "identity" a.(i) v) c
+
+let test_convolution_commutative () =
+  let a = Array.init 13 (fun _ -> next_float ()) in
+  let b = Array.init 29 (fun _ -> next_float ()) in
+  let ab = Convolution.auto a b and ba = Convolution.auto b a in
+  Array.iteri (fun i v -> check_close ~eps:1e-10 "commute" v ba.(i)) ab
+
+let test_convolution_preserves_mass () =
+  (* Convolution of pmfs is a pmf. *)
+  let a = Array.init 50 (fun _ -> next_float ()) in
+  let b = Array.init 64 (fun _ -> next_float ()) in
+  Array_ops.normalize a;
+  Array_ops.normalize b;
+  let c = Convolution.fft a b in
+  check_close ~eps:1e-10 "mass" 1.0 (Array_ops.sum c)
+
+let test_convolution_plan_matches () =
+  let kernel = Array.init 201 (fun _ -> next_float ()) in
+  let plan = Convolution.make_plan ~kernel ~max_signal:100 in
+  let signal = Array.init 77 (fun _ -> next_float ()) in
+  let expected = Convolution.direct signal kernel in
+  let got = Convolution.convolve_plan plan signal in
+  Alcotest.(check int) "length" (Array.length expected) (Array.length got);
+  Array.iteri (fun i v -> check_close ~eps:1e-10 "plan cell" v got.(i)) expected
+
+let test_convolution_plan_rejects_long_signal () =
+  let plan = Convolution.make_plan ~kernel:[| 1.0 |] ~max_signal:4 in
+  Alcotest.check_raises "too long"
+    (Invalid_argument "Convolution.convolve_plan: signal longer than plan")
+    (fun () -> ignore (Convolution.convolve_plan plan (Array.make 5 0.0)))
+
+(* ------------------------------------------------------------------ *)
+(* Special functions *)
+
+let test_log_gamma_known_values () =
+  check_close "lgamma 1" 0.0 (Special.log_gamma 1.0);
+  check_close "lgamma 2" 0.0 (Special.log_gamma 2.0);
+  check_close ~eps:1e-12 "lgamma 5" (log 24.0) (Special.log_gamma 5.0);
+  check_close ~eps:1e-12 "lgamma 0.5" (log (sqrt Float.pi))
+    (Special.log_gamma 0.5);
+  (* Recurrence Gamma(x+1) = x Gamma(x). *)
+  let x = 3.7 in
+  check_close ~eps:1e-12 "recurrence"
+    (Special.log_gamma x +. log x)
+    (Special.log_gamma (x +. 1.0))
+
+let test_gamma_p_q_complement () =
+  List.iter
+    (fun (a, x) ->
+      check_close ~eps:1e-12 "P+Q=1" 1.0
+        (Special.gamma_p ~a ~x +. Special.gamma_q ~a ~x))
+    [ (0.5, 0.3); (1.0, 1.0); (2.5, 7.0); (10.0, 3.0); (10.0, 30.0) ]
+
+let test_gamma_p_exponential_case () =
+  (* P(1, x) = 1 - exp(-x). *)
+  List.iter
+    (fun x ->
+      check_close ~eps:1e-12 "P(1,x)"
+        (1.0 -. exp (-.x))
+        (Special.gamma_p ~a:1.0 ~x))
+    [ 0.1; 0.5; 1.0; 2.0; 5.0 ]
+
+let test_erf_known_values () =
+  check_close "erf 0" 0.0 (Special.erf 0.0);
+  (* Reference values from Abramowitz & Stegun. *)
+  check_close ~eps:1e-7 "erf 0.5" 0.5204998778 (Special.erf 0.5);
+  check_close ~eps:1e-7 "erf 1" 0.8427007929 (Special.erf 1.0);
+  check_close ~eps:1e-7 "erf 2" 0.9953222650 (Special.erf 2.0);
+  check_close ~eps:1e-9 "erf -1" (-0.8427007929) (Special.erf (-1.0) +. 0.0)
+
+let test_erfc_tail_no_cancellation () =
+  (* erfc(5) ~ 1.537e-12; a naive 1 - erf(5) loses all digits. *)
+  let v = Special.erfc 5.0 in
+  check_close ~eps:1e-6 "erfc 5" 1.5374597944280351e-12 v
+
+let test_erf_inv_roundtrip () =
+  List.iter
+    (fun p ->
+      check_close ~eps:1e-10 "roundtrip" p (Special.erf (Special.erf_inv p)))
+    [ -0.999; -0.9; -0.5; -0.1; 0.0; 0.1; 0.5; 0.9; 0.99; 0.9999 ]
+
+let test_normal_cdf_quantile () =
+  check_close ~eps:1e-12 "cdf 0" 0.5 (Special.normal_cdf 0.0);
+  check_close ~eps:1e-9 "cdf 1.96" 0.9750021048517795
+    (Special.normal_cdf 1.96);
+  List.iter
+    (fun p ->
+      check_close ~eps:1e-10 "quantile roundtrip" p
+        (Special.normal_cdf (Special.normal_quantile p)))
+    [ 1e-8; 1e-4; 0.025; 0.5; 0.8413; 0.999; 1.0 -. 1e-8 ]
+
+let test_special_rejects_bad_input () =
+  Alcotest.check_raises "erf_inv 1"
+    (Invalid_argument "Special.erf_inv: argument must lie in (-1, 1)")
+    (fun () -> ignore (Special.erf_inv 1.0));
+  Alcotest.check_raises "quantile 0"
+    (Invalid_argument "Special.normal_quantile: argument must lie in (0, 1)")
+    (fun () -> ignore (Special.normal_quantile 0.0));
+  Alcotest.check_raises "gamma_p a<0"
+    (Invalid_argument "Special.gamma_p: a must be positive") (fun () ->
+      ignore (Special.gamma_p ~a:(-1.0) ~x:1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Summation *)
+
+let test_kahan_hard_case () =
+  (* 1 + 1e16 - 1e16 = 1 exactly with compensation. *)
+  let a = [| 1.0; 1e16; -1e16 |] in
+  check_close "kahan" 1.0 (Summation.kahan a)
+
+let test_kahan_many_small () =
+  let n = 1_000_000 in
+  let a = Array.make n 0.1 in
+  check_close ~eps:1e-12 "many small" (float_of_int n *. 0.1)
+    (Summation.kahan a)
+
+let test_kahan_slice () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_close "slice" 5.0 (Summation.kahan_slice a ~pos:1 ~len:2);
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Summation.kahan_slice: slice out of bounds") (fun () ->
+      ignore (Summation.kahan_slice a ~pos:2 ~len:3))
+
+let test_accumulator_streaming () =
+  let acc = Summation.create () in
+  for _ = 1 to 1000 do
+    Summation.add acc 0.001
+  done;
+  check_close ~eps:1e-13 "stream" 1.0 (Summation.total acc)
+
+(* ------------------------------------------------------------------ *)
+(* Quadrature *)
+
+let test_simpson_polynomial_exact () =
+  (* Simpson is exact on cubics. *)
+  let f x = (2.0 *. x *. x *. x) -. x +. 3.0 in
+  let exact = (2.0 /. 4.0 *. 16.0) -. (4.0 /. 2.0) +. (3.0 *. 2.0) in
+  check_close ~eps:1e-12 "cubic" exact
+    (Quadrature.simpson ~f ~a:0.0 ~b:2.0 ~eps:1e-12)
+
+let test_simpson_transcendental () =
+  check_close ~eps:1e-10 "sin" 2.0
+    (Quadrature.simpson ~f:sin ~a:0.0 ~b:Float.pi ~eps:1e-12);
+  check_close ~eps:1e-10 "exp" (exp 1.0 -. 1.0)
+    (Quadrature.simpson ~f:exp ~a:0.0 ~b:1.0 ~eps:1e-12)
+
+let test_simpson_reversed_bounds () =
+  check_close ~eps:1e-10 "reversed" (-2.0)
+    (Quadrature.simpson ~f:sin ~a:Float.pi ~b:0.0 ~eps:1e-12)
+
+let test_simpson_to_infinity () =
+  (* int_0^inf e^-t dt = 1. *)
+  check_close ~eps:1e-8 "exp tail" 1.0
+    (Quadrature.simpson_to_infinity ~f:(fun t -> exp (-.t)) ~a:0.0 ~eps:1e-10);
+  (* int_1^inf t^-2 dt = 1. *)
+  check_close ~eps:1e-6 "power tail" 1.0
+    (Quadrature.simpson_to_infinity ~f:(fun t -> 1.0 /. (t *. t)) ~a:1.0
+       ~eps:1e-10)
+
+(* ------------------------------------------------------------------ *)
+(* Roots *)
+
+let test_bisection_sqrt2 () =
+  let root =
+    Roots.bisection ~f:(fun x -> (x *. x) -. 2.0) ~lo:0.0 ~hi:2.0 ()
+  in
+  check_close ~eps:1e-10 "sqrt2" (sqrt 2.0) root
+
+let test_bisection_rejects_non_bracket () =
+  Alcotest.check_raises "no bracket"
+    (Invalid_argument "Roots.bisection: interval does not bracket a root")
+    (fun () -> ignore (Roots.bisection ~f:(fun x -> x +. 10.0) ~lo:0.0 ~hi:1.0 ()))
+
+let test_newton_bracketed () =
+  let f x = cos x -. x in
+  let df x = -.sin x -. 1.0 in
+  let root = Roots.newton_bracketed ~f ~df ~lo:0.0 ~hi:1.0 () in
+  check_close ~eps:1e-10 "dottie" 0.7390851332151607 root
+
+let test_newton_with_bad_derivative_falls_back () =
+  (* Zero derivative everywhere: must still converge by bisection. *)
+  let f x = x -. 0.25 in
+  let df _ = 0.0 in
+  let root = Roots.newton_bracketed ~f ~df ~lo:0.0 ~hi:1.0 () in
+  check_close ~eps:1e-9 "fallback" 0.25 root
+
+(* ------------------------------------------------------------------ *)
+(* Array_ops *)
+
+let test_linspace () =
+  let a = Array_ops.linspace 0.0 1.0 5 in
+  Alcotest.(check int) "len" 5 (Array.length a);
+  check_close "first" 0.0 a.(0);
+  check_close "mid" 0.5 a.(2);
+  check_close "last" 1.0 a.(4)
+
+let test_logspace () =
+  let a = Array_ops.logspace 1.0 100.0 3 in
+  check_close ~eps:1e-12 "first" 1.0 a.(0);
+  check_close ~eps:1e-12 "mid" 10.0 a.(1);
+  check_close ~eps:1e-12 "last" 100.0 a.(2)
+
+let test_mean_variance () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_close "mean" 2.5 (Array_ops.mean a);
+  check_close "variance" 1.25 (Array_ops.variance a)
+
+let test_normalize () =
+  let a = [| 1.0; 3.0 |] in
+  Array_ops.normalize a;
+  check_close "n0" 0.25 a.(0);
+  check_close "n1" 0.75 a.(1);
+  Alcotest.check_raises "zero"
+    (Invalid_argument "Array_ops.normalize: sum must be positive") (fun () ->
+      Array_ops.normalize [| 0.0; 0.0 |])
+
+(* ------------------------------------------------------------------ *)
+(* Wavelet *)
+
+let test_wavelet_filters_orthonormal () =
+  List.iter
+    (fun filter ->
+      let h = Wavelet.filter_coefficients filter in
+      let sumsq = Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 h in
+      check_close ~eps:1e-12 "unit energy" 1.0 sumsq;
+      let total = Array.fold_left ( +. ) 0.0 h in
+      check_close ~eps:1e-12 "sum sqrt2" (sqrt 2.0) total)
+    [ Wavelet.Haar; Wavelet.Daubechies4 ]
+
+let test_wavelet_roundtrip () =
+  List.iter
+    (fun filter ->
+      let x = Array.init 64 (fun _ -> next_float () -. 0.5) in
+      let approx, detail = Wavelet.dwt filter x in
+      Alcotest.(check int) "half length" 32 (Array.length approx);
+      let back = Wavelet.idwt filter ~approx ~detail in
+      Array.iteri
+        (fun i v -> check_close ~eps:1e-12 "reconstruction" x.(i) v)
+        back)
+    [ Wavelet.Haar; Wavelet.Daubechies4 ]
+
+let test_wavelet_parseval () =
+  List.iter
+    (fun filter ->
+      let x = Array.init 128 (fun _ -> next_float ()) in
+      let approx, detail = Wavelet.dwt filter x in
+      let e a = Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 a in
+      check_close ~eps:1e-10 "energy preserved" (e x) (e approx +. e detail))
+    [ Wavelet.Haar; Wavelet.Daubechies4 ]
+
+let test_wavelet_d4_kills_linear_trend () =
+  (* Two vanishing moments: interior detail coefficients of a linear
+     ramp vanish (boundary wrap-around coefficients excepted). *)
+  let x = Array.init 64 (fun i -> 3.0 +. (0.5 *. float_of_int i)) in
+  let _, detail = Wavelet.dwt Wavelet.Daubechies4 x in
+  for i = 0 to 29 do
+    check_close ~eps:1e-10 (Printf.sprintf "interior %d" i) 0.0 detail.(i)
+  done;
+  (* Haar does NOT annihilate a ramp (only constants). *)
+  let _, haar_detail = Wavelet.dwt Wavelet.Haar x in
+  Alcotest.(check bool) "haar sees the ramp" true
+    (Float.abs haar_detail.(5) > 0.1)
+
+let test_wavelet_decompose_structure () =
+  let x = Array.init 256 (fun _ -> next_float ()) in
+  let d = Wavelet.decompose Wavelet.Haar x in
+  Alcotest.(check bool) "several octaves" true
+    (Array.length d.Wavelet.details >= 5);
+  Alcotest.(check int) "finest octave size" 128
+    (Array.length d.Wavelet.details.(0));
+  let d2 = Wavelet.decompose ~max_level:2 Wavelet.Haar x in
+  Alcotest.(check int) "max level respected" 2
+    (Array.length d2.Wavelet.details)
+
+let test_wavelet_rejects_bad_input () =
+  Alcotest.check_raises "odd length"
+    (Invalid_argument
+       "Wavelet.dwt: input length must be even and >= filter length")
+    (fun () -> ignore (Wavelet.dwt Wavelet.Haar (Array.make 7 0.0)))
+
+(* ------------------------------------------------------------------ *)
+(* Linalg *)
+
+let test_linalg_solve_known_system () =
+  let a = [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let b = [| 5.0; 10.0 |] in
+  let x = Linalg.solve a b in
+  check_close "x0" 1.0 x.(0);
+  check_close "x1" 3.0 x.(1);
+  check_close "residual" 0.0 (Linalg.residual_norm a x b)
+
+let test_linalg_solve_needs_pivoting () =
+  (* Zero on the diagonal: fails without partial pivoting. *)
+  let a = [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Linalg.solve a [| 2.0; 3.0 |] in
+  check_close "x0" 3.0 x.(0);
+  check_close "x1" 2.0 x.(1)
+
+let test_linalg_random_roundtrip () =
+  let n = 12 in
+  let a =
+    Array.init n (fun _ -> Array.init n (fun _ -> next_float () -. 0.5))
+  in
+  let x_true = Array.init n (fun _ -> next_float () *. 10.0) in
+  let b = Linalg.mat_vec a x_true in
+  let x = Linalg.solve a b in
+  Array.iteri
+    (fun i v -> check_close ~eps:1e-8 (Printf.sprintf "x%d" i) x_true.(i) v)
+    x
+
+let test_linalg_determinant () =
+  check_close "2x2" (-2.0)
+    (Linalg.determinant [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |]);
+  check_close "identity" 1.0
+    (Linalg.determinant [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |]);
+  check_close "singular" 0.0
+    (Linalg.determinant [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |])
+
+let test_linalg_rejects_singular () =
+  Alcotest.check_raises "singular" (Failure "Linalg: singular matrix")
+    (fun () ->
+      ignore (Linalg.solve [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] [| 1.0; 1.0 |]))
+
+let test_linalg_rejects_bad_shapes () =
+  Alcotest.check_raises "not square"
+    (Invalid_argument "Linalg: matrix must be square") (fun () ->
+      ignore (Linalg.solve [| [| 1.0; 2.0 |] |] [| 1.0 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_fft_roundtrip =
+  QCheck.Test.make ~name:"fft inverse . forward = id" ~count:50
+    QCheck.(list_of_size (Gen.return 32) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let re = Array.of_list xs and im = Array.make 32 0.0 in
+      let orig = Array.copy re in
+      Fft.forward ~re ~im;
+      Fft.inverse ~re ~im;
+      Array.for_all2
+        (fun a b -> Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a))
+        orig re)
+
+let prop_convolution_linear =
+  QCheck.Test.make ~name:"convolution is linear in first argument" ~count:50
+    QCheck.(
+      pair
+        (list_of_size (Gen.return 16) (float_range (-10.0) 10.0))
+        (list_of_size (Gen.return 16) (float_range (-10.0) 10.0)))
+    (fun (xs, ys) ->
+      let a = Array.of_list xs and b = Array.of_list ys in
+      let k = [| 0.5; -1.5; 2.0 |] in
+      let sum = Array.mapi (fun i x -> x +. b.(i)) a in
+      let c1 = Convolution.direct sum k in
+      let c2 = Convolution.direct a k and c3 = Convolution.direct b k in
+      Array.for_all
+        (fun i ->
+          Float.abs (c1.(i) -. (c2.(i) +. c3.(i)))
+          <= 1e-9 *. (1.0 +. Float.abs c1.(i)))
+        (Array.init (Array.length c1) (fun i -> i)))
+
+let prop_erf_monotone =
+  QCheck.Test.make ~name:"erf is monotone" ~count:100
+    QCheck.(pair (float_range (-4.0) 4.0) (float_range (-4.0) 4.0))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Special.erf lo <= Special.erf hi +. 1e-15)
+
+let prop_kahan_close_to_sorted_sum =
+  QCheck.Test.make ~name:"kahan matches high-precision reference" ~count:50
+    QCheck.(list_of_size (Gen.return 100) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let a = Array.of_list xs in
+      (* Reference: sort by magnitude ascending and sum. *)
+      let sorted = Array.copy a in
+      Array.sort (fun x y -> Float.compare (Float.abs x) (Float.abs y)) sorted;
+      let reference = Array.fold_left ( +. ) 0.0 sorted in
+      Float.abs (Summation.kahan a -. reference)
+      <= 1e-6 *. (1.0 +. Float.abs reference))
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "numerics"
+    [
+      ( "fft",
+        [
+          Alcotest.test_case "power-of-two helpers" `Quick test_power_of_two;
+          Alcotest.test_case "matches naive DFT" `Quick
+            test_fft_matches_naive_dft;
+          Alcotest.test_case "roundtrip" `Quick test_fft_roundtrip;
+          Alcotest.test_case "impulse" `Quick test_fft_impulse;
+          Alcotest.test_case "constant" `Quick test_fft_constant;
+          Alcotest.test_case "parseval" `Quick test_fft_parseval;
+          Alcotest.test_case "rejects bad input" `Quick
+            test_fft_rejects_bad_input;
+        ] );
+      ( "convolution",
+        [
+          Alcotest.test_case "small exact" `Quick test_convolution_small_exact;
+          Alcotest.test_case "fft matches direct" `Quick
+            test_convolution_fft_matches_direct;
+          Alcotest.test_case "identity kernel" `Quick
+            test_convolution_identity;
+          Alcotest.test_case "commutative" `Quick test_convolution_commutative;
+          Alcotest.test_case "preserves probability mass" `Quick
+            test_convolution_preserves_mass;
+          Alcotest.test_case "plan matches direct" `Quick
+            test_convolution_plan_matches;
+          Alcotest.test_case "plan rejects long signal" `Quick
+            test_convolution_plan_rejects_long_signal;
+        ] );
+      ( "special",
+        [
+          Alcotest.test_case "log_gamma known values" `Quick
+            test_log_gamma_known_values;
+          Alcotest.test_case "gamma P + Q = 1" `Quick test_gamma_p_q_complement;
+          Alcotest.test_case "gamma P(1, x) exponential" `Quick
+            test_gamma_p_exponential_case;
+          Alcotest.test_case "erf known values" `Quick test_erf_known_values;
+          Alcotest.test_case "erfc far tail" `Quick
+            test_erfc_tail_no_cancellation;
+          Alcotest.test_case "erf_inv roundtrip" `Quick test_erf_inv_roundtrip;
+          Alcotest.test_case "normal cdf/quantile" `Quick
+            test_normal_cdf_quantile;
+          Alcotest.test_case "rejects bad input" `Quick
+            test_special_rejects_bad_input;
+        ] );
+      ( "summation",
+        [
+          Alcotest.test_case "cancellation case" `Quick test_kahan_hard_case;
+          Alcotest.test_case "many small terms" `Quick test_kahan_many_small;
+          Alcotest.test_case "slice" `Quick test_kahan_slice;
+          Alcotest.test_case "streaming accumulator" `Quick
+            test_accumulator_streaming;
+        ] );
+      ( "quadrature",
+        [
+          Alcotest.test_case "cubic exact" `Quick
+            test_simpson_polynomial_exact;
+          Alcotest.test_case "transcendental" `Quick
+            test_simpson_transcendental;
+          Alcotest.test_case "reversed bounds" `Quick
+            test_simpson_reversed_bounds;
+          Alcotest.test_case "semi-infinite" `Quick test_simpson_to_infinity;
+        ] );
+      ( "roots",
+        [
+          Alcotest.test_case "bisection sqrt2" `Quick test_bisection_sqrt2;
+          Alcotest.test_case "bisection needs bracket" `Quick
+            test_bisection_rejects_non_bracket;
+          Alcotest.test_case "newton dottie number" `Quick
+            test_newton_bracketed;
+          Alcotest.test_case "newton falls back to bisection" `Quick
+            test_newton_with_bad_derivative_falls_back;
+        ] );
+      ( "array_ops",
+        [
+          Alcotest.test_case "linspace" `Quick test_linspace;
+          Alcotest.test_case "logspace" `Quick test_logspace;
+          Alcotest.test_case "mean/variance" `Quick test_mean_variance;
+          Alcotest.test_case "normalize" `Quick test_normalize;
+        ] );
+      ( "wavelet",
+        [
+          Alcotest.test_case "filters orthonormal" `Quick
+            test_wavelet_filters_orthonormal;
+          Alcotest.test_case "roundtrip" `Quick test_wavelet_roundtrip;
+          Alcotest.test_case "parseval" `Quick test_wavelet_parseval;
+          Alcotest.test_case "D4 kills linear trend" `Quick
+            test_wavelet_d4_kills_linear_trend;
+          Alcotest.test_case "decompose structure" `Quick
+            test_wavelet_decompose_structure;
+          Alcotest.test_case "rejects bad input" `Quick
+            test_wavelet_rejects_bad_input;
+        ] );
+      ( "linalg",
+        [
+          Alcotest.test_case "known system" `Quick
+            test_linalg_solve_known_system;
+          Alcotest.test_case "pivoting" `Quick test_linalg_solve_needs_pivoting;
+          Alcotest.test_case "random roundtrip" `Quick
+            test_linalg_random_roundtrip;
+          Alcotest.test_case "determinant" `Quick test_linalg_determinant;
+          Alcotest.test_case "rejects singular" `Quick
+            test_linalg_rejects_singular;
+          Alcotest.test_case "rejects bad shapes" `Quick
+            test_linalg_rejects_bad_shapes;
+        ] );
+      ( "properties",
+        qcheck
+          [
+            prop_fft_roundtrip;
+            prop_convolution_linear;
+            prop_erf_monotone;
+            prop_kahan_close_to_sorted_sum;
+          ] );
+    ]
