@@ -12,17 +12,22 @@
    checkable.
 
    Options:
-     --quick       small traces and coarse grids (used by CI)
+     --quick       small traces and coarse grids (used by CI); in micro
+                   mode also shrinks the Bechamel quota for smoke runs
      --only IDS    comma-separated experiment ids (e.g. fig4,fig7)
-     --micro       run the Bechamel suite instead of the figures *)
+     --micro       run the Bechamel suite instead of the figures
+     --json FILE   in micro mode, also write results as a JSON list of
+                   {name, ns_per_run, samples} (the BENCH_micro.json
+                   perf trajectory compared across PRs) *)
 
 open Lrd_experiments
 
 let quick = ref false
 let only = ref []
 let micro = ref false
+let json_file = ref ""
 
-let usage = "main.exe [--quick] [--only fig4,fig7] [--micro]"
+let usage = "main.exe [--quick] [--only fig4,fig7] [--micro] [--json FILE]"
 
 let spec =
   [
@@ -32,13 +37,21 @@ let spec =
         (fun s -> only := String.split_on_char ',' s),
       "IDS comma-separated experiment ids" );
     ("--micro", Arg.Set micro, " run Bechamel micro-benchmarks");
+    ( "--json",
+      Arg.Set_string json_file,
+      "FILE write micro results as JSON (micro mode only)" );
   ]
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel micro suite *)
+(* Bechamel micro suite.
+
+   Each entry is a (name, test) pair so results print in this
+   deterministic definition order (a Hashtbl.iter order would reshuffle
+   between runs and make diffs of the output useless). *)
 
 let micro_tests ctx =
   let open Bechamel in
+  let mk name f = (name, Test.make ~name (Staged.stage f)) in
   let rng () = Lrd_rng.Rng.create ~seed:4242L in
   (* Shared ingredients, built once outside the timed closures. *)
   let mtv_model = Data.mtv_model ctx ~cutoff:10.0 in
@@ -66,84 +79,62 @@ let micro_tests ctx =
   in
   let figure_tests =
     [
-      Test.make ~name:"fig2/snapshots-m100"
-        (Staged.stage (fun () ->
-             ignore
-               (Lrd_core.Solver.iterate_snapshots mtv_model
-                  ~service_rate:mtv_c ~buffer:(1.0 *. mtv_c) ~bins:100
-                  ~at:[ 5; 10; 30 ])));
-      Test.make ~name:"fig3/histogram-50bin"
-        (Staged.stage (fun () ->
-             ignore (Lrd_trace.Histogram.marginal_of_trace ~bins:50 mtv_trace)));
-      Test.make ~name:"fig4/solve-mtv-cell"
-        (Staged.stage
-           (solve mtv_model ~utilization:Data.mtv_utilization
-              ~buffer_seconds:0.5));
-      Test.make ~name:"fig5/solve-bc-cell"
-        (Staged.stage
-           (solve bc_model ~utilization:Data.bc_utilization
-              ~buffer_seconds:0.5));
-      Test.make ~name:"fig6/acf-512"
-        (Staged.stage (fun () ->
-             ignore
-               (Lrd_stats.Autocorr.autocorrelation
-                  mtv_trace.Lrd_trace.Trace.rates ~max_lag:512)));
-      Test.make ~name:"fig7/shuffle-sim-mtv"
-        (Staged.stage (fun () ->
-             let shuffled =
-               Lrd_trace.Shuffle.external_shuffle (rng ()) mtv_trace
-                 ~block:300
-             in
-             sim shuffled ~utilization:Data.mtv_utilization
-               ~buffer_seconds:0.1));
-      Test.make ~name:"fig8/shuffle-sim-bc"
-        (Staged.stage (fun () ->
-             let shuffled =
-               Lrd_trace.Shuffle.external_shuffle (rng ()) bc_trace ~block:300
-             in
-             sim shuffled ~utilization:Data.bc_utilization
-               ~buffer_seconds:0.1));
-      Test.make ~name:"fig9/solve-equalized"
-        (Staged.stage (fun () ->
-             let model =
-               Lrd_core.Model.of_hurst ~marginal:(Data.bc_marginal ctx)
-                 ~hurst:0.9 ~theta:0.020 ~cutoff:1.0
-             in
-             solve model ~utilization:(2.0 /. 3.0) ~buffer_seconds:1.0 ()));
-      Test.make ~name:"fig10/solve-scaled"
-        (Staged.stage (fun () ->
-             let marginal =
-               Lrd_dist.Marginal.scale ~clamp:true (Data.mtv_marginal ctx)
-                 ~factor:0.5
-             in
-             let model =
-               Lrd_core.Model.of_hurst ~marginal ~hurst:0.75
-                 ~theta:(Data.mtv_theta ctx) ~cutoff:Float.infinity
-             in
-             solve model ~utilization:Data.mtv_utilization
-               ~buffer_seconds:1.0 ()));
-      Test.make ~name:"fig11/superpose-5"
-        (Staged.stage (fun () ->
-             ignore (Lrd_dist.Marginal.superpose (Data.mtv_marginal ctx) ~n:5)));
-      Test.make ~name:"fig12/solve-deep-buffer"
-        (Staged.stage
-           (solve mtv_model ~utilization:Data.mtv_utilization
-              ~buffer_seconds:5.0));
-      Test.make ~name:"fig13/solve-deep-buffer-bc"
-        (Staged.stage
-           (solve bc_model ~utilization:Data.bc_utilization
-              ~buffer_seconds:5.0));
-      Test.make ~name:"fig14/horizon"
-        (Staged.stage (fun () ->
-             let series =
-               Array.init 20 (fun i ->
-                   let tc = 0.1 *. (1.5 ** float_of_int i) in
-                   (tc, 1e-3 *. (1.0 -. exp (-.tc))))
-             in
-             ignore (Lrd_core.Horizon.detect series);
-             ignore
-               (Lrd_core.Horizon.estimate ~buffer:10.0 ~mean_epoch:0.08
-                  ~epoch_std:0.3 ~rate_std:1.7 ())));
+      mk "fig2/snapshots-m100" (fun () ->
+          ignore
+            (Lrd_core.Solver.iterate_snapshots mtv_model ~service_rate:mtv_c
+               ~buffer:(1.0 *. mtv_c) ~bins:100 ~at:[ 5; 10; 30 ]));
+      mk "fig3/histogram-50bin" (fun () ->
+          ignore (Lrd_trace.Histogram.marginal_of_trace ~bins:50 mtv_trace));
+      mk "fig4/solve-mtv-cell"
+        (solve mtv_model ~utilization:Data.mtv_utilization ~buffer_seconds:0.5);
+      mk "fig5/solve-bc-cell"
+        (solve bc_model ~utilization:Data.bc_utilization ~buffer_seconds:0.5);
+      mk "fig6/acf-512" (fun () ->
+          ignore
+            (Lrd_stats.Autocorr.autocorrelation mtv_trace.Lrd_trace.Trace.rates
+               ~max_lag:512));
+      mk "fig7/shuffle-sim-mtv" (fun () ->
+          let shuffled =
+            Lrd_trace.Shuffle.external_shuffle (rng ()) mtv_trace ~block:300
+          in
+          sim shuffled ~utilization:Data.mtv_utilization ~buffer_seconds:0.1);
+      mk "fig8/shuffle-sim-bc" (fun () ->
+          let shuffled =
+            Lrd_trace.Shuffle.external_shuffle (rng ()) bc_trace ~block:300
+          in
+          sim shuffled ~utilization:Data.bc_utilization ~buffer_seconds:0.1);
+      mk "fig9/solve-equalized" (fun () ->
+          let model =
+            Lrd_core.Model.of_hurst ~marginal:(Data.bc_marginal ctx) ~hurst:0.9
+              ~theta:0.020 ~cutoff:1.0
+          in
+          solve model ~utilization:(2.0 /. 3.0) ~buffer_seconds:1.0 ());
+      mk "fig10/solve-scaled" (fun () ->
+          let marginal =
+            Lrd_dist.Marginal.scale ~clamp:true (Data.mtv_marginal ctx)
+              ~factor:0.5
+          in
+          let model =
+            Lrd_core.Model.of_hurst ~marginal ~hurst:0.75
+              ~theta:(Data.mtv_theta ctx) ~cutoff:Float.infinity
+          in
+          solve model ~utilization:Data.mtv_utilization ~buffer_seconds:1.0 ());
+      mk "fig11/superpose-5" (fun () ->
+          ignore (Lrd_dist.Marginal.superpose (Data.mtv_marginal ctx) ~n:5));
+      mk "fig12/solve-deep-buffer"
+        (solve mtv_model ~utilization:Data.mtv_utilization ~buffer_seconds:5.0);
+      mk "fig13/solve-deep-buffer-bc"
+        (solve bc_model ~utilization:Data.bc_utilization ~buffer_seconds:5.0);
+      mk "fig14/horizon" (fun () ->
+          let series =
+            Array.init 20 (fun i ->
+                let tc = 0.1 *. (1.5 ** float_of_int i) in
+                (tc, 1e-3 *. (1.0 -. exp (-.tc))))
+          in
+          ignore (Lrd_core.Horizon.detect series);
+          ignore
+            (Lrd_core.Horizon.estimate ~buffer:10.0 ~mean_epoch:0.08
+               ~epoch_std:0.3 ~rate_std:1.7 ()));
     ]
   in
   let re = Array.init 4096 (fun i -> sin (float_of_int i)) in
@@ -157,95 +148,114 @@ let micro_tests ctx =
       ~marginal:(Lrd_dist.Marginal.of_points [ (0.0, 0.5); (2.0, 0.5) ])
       ~interarrival:(Lrd_dist.Interarrival.exponential ~mean:1.0)
   in
+  let dual_plan =
+    Lrd_numerics.Convolution.make_dual_plan ~kernel_a:kernel ~kernel_b:kernel
+      ~max_signal:1025
+  in
+  let conv_dst = Array.make (1025 + 2049 - 1) 0.0 in
+  let conv_dst2 = Array.make (1025 + 2049 - 1) 0.0 in
   let kernel_tests =
     [
-      Test.make ~name:"kernel/fft-4096"
-        (Staged.stage (fun () ->
-             let r = Array.copy re and im = Array.make 4096 0.0 in
-             Lrd_numerics.Fft.forward ~re:r ~im));
-      Test.make ~name:"kernel/conv-direct-1k"
-        (Staged.stage (fun () ->
-             ignore (Lrd_numerics.Convolution.direct signal kernel)));
-      Test.make ~name:"kernel/conv-fft-plan-1k"
-        (Staged.stage (fun () ->
-             ignore (Lrd_numerics.Convolution.convolve_plan plan signal)));
-      Test.make ~name:"kernel/solver-onoff-exp"
-        (Staged.stage (fun () ->
-             ignore
-               (Lrd_core.Solver.solve exp_model ~service_rate:1.25 ~buffer:2.0)));
-      Test.make ~name:"kernel/fgn-16k"
-        (Staged.stage (fun () ->
-             ignore (Lrd_trace.Fgn.davies_harte (rng ()) ~hurst:0.8 ~n:16_384)));
-      Test.make ~name:"kernel/video-trace-16k"
-        (Staged.stage (fun () ->
-             ignore (Lrd_trace.Video.generate_short (rng ()) ~n:16_384)));
-      Test.make ~name:"kernel/queue-sim-100k-slots"
-        (Staged.stage (fun () ->
-             let r = rng () in
-             let rates =
-               Array.init 100_000 (fun _ -> Lrd_rng.Rng.float r *. 2.0)
-             in
-             let trace = Lrd_trace.Trace.create ~rates ~slot:0.01 in
-             sim trace ~utilization:0.8 ~buffer_seconds:0.5));
-      Test.make ~name:"kernel/erf-inv"
-        (Staged.stage (fun () ->
-             ignore (Lrd_numerics.Special.erf_inv 0.123)));
-      Test.make ~name:"kernel/whittle-16k"
-        (Staged.stage
-           (let data =
-              Lrd_trace.Fgn.davies_harte (rng ()) ~hurst:0.8 ~n:16_384
-            in
-            fun () -> ignore (Lrd_stats.Whittle.local_whittle data)));
-      Test.make ~name:"kernel/mginf-trace-16k"
-        (Staged.stage (fun () ->
-             ignore (Lrd_trace.Mginf.generate (rng ()) ~slots:16_384 ~slot:0.02)));
-      Test.make ~name:"kernel/solve-detailed-occupancy"
-        (Staged.stage (fun () ->
-             ignore
-               (Lrd_core.Solver.solve_detailed exp_model ~service_rate:1.25
-                  ~buffer:2.0)));
-      Test.make ~name:"kernel/ams-spectrum-n12"
-        (Staged.stage (fun () ->
-             let sys =
-               Lrd_baselines.Ams.create ~sources:12 ~on_rate:1.0 ~lambda:1.0
-                 ~mu:2.0 ~service_rate:5.3
-             in
-             ignore (Lrd_baselines.Ams.overflow_probability sys ~level:2.0)));
+      mk "kernel/fft-4096" (fun () ->
+          let r = Array.copy re and im = Array.make 4096 0.0 in
+          Lrd_numerics.Fft.forward ~re:r ~im);
+      mk "kernel/conv-direct-1k" (fun () ->
+          ignore (Lrd_numerics.Convolution.direct signal kernel));
+      mk "kernel/conv-fft-plan-1k" (fun () ->
+          Lrd_numerics.Convolution.execute plan signal ~dst:conv_dst);
+      mk "kernel/conv-dual-1k" (fun () ->
+          Lrd_numerics.Convolution.execute_dual dual_plan ~a:signal ~b:signal
+            ~dst_a:conv_dst ~dst_b:conv_dst2);
+      mk "kernel/solver-onoff-exp" (fun () ->
+          ignore (Lrd_core.Solver.solve exp_model ~service_rate:1.25 ~buffer:2.0));
+      mk "kernel/fgn-16k" (fun () ->
+          ignore (Lrd_trace.Fgn.davies_harte (rng ()) ~hurst:0.8 ~n:16_384));
+      mk "kernel/video-trace-16k" (fun () ->
+          ignore (Lrd_trace.Video.generate_short (rng ()) ~n:16_384));
+      mk "kernel/queue-sim-100k-slots" (fun () ->
+          let r = rng () in
+          let rates =
+            Array.init 100_000 (fun _ -> Lrd_rng.Rng.float r *. 2.0)
+          in
+          let trace = Lrd_trace.Trace.create ~rates ~slot:0.01 in
+          sim trace ~utilization:0.8 ~buffer_seconds:0.5);
+      mk "kernel/erf-inv" (fun () ->
+          ignore (Lrd_numerics.Special.erf_inv 0.123));
+      mk "kernel/whittle-16k"
+        (let data = Lrd_trace.Fgn.davies_harte (rng ()) ~hurst:0.8 ~n:16_384 in
+         fun () -> ignore (Lrd_stats.Whittle.local_whittle data));
+      mk "kernel/mginf-trace-16k" (fun () ->
+          ignore (Lrd_trace.Mginf.generate (rng ()) ~slots:16_384 ~slot:0.02));
+      mk "kernel/solve-detailed-occupancy" (fun () ->
+          ignore
+            (Lrd_core.Solver.solve_detailed exp_model ~service_rate:1.25
+               ~buffer:2.0));
+      mk "kernel/ams-spectrum-n12" (fun () ->
+          let sys =
+            Lrd_baselines.Ams.create ~sources:12 ~on_rate:1.0 ~lambda:1.0
+              ~mu:2.0 ~service_rate:5.3
+          in
+          ignore (Lrd_baselines.Ams.overflow_probability sys ~level:2.0));
     ]
   in
   figure_tests @ kernel_tests
 
+let emit_json oc rows =
+  let last = List.length rows - 1 in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (name, ns, samples) ->
+      Printf.fprintf oc
+        "  {\"name\": %S, \"ns_per_run\": %.1f, \"samples\": %d}%s\n" name ns
+        samples
+        (if i = last then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc
+
 let run_micro ctx =
   let open Bechamel in
   let open Toolkit in
+  (* --quick is the CI smoke configuration: a tiny quota that still
+     exercises every benchmarked code path once or twice. *)
   let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+    if !quick then Benchmark.cfg ~limit:20 ~quota:(Time.second 0.05) ~kde:None ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  (* One analysis configuration for the whole list (it is test
+     independent; rebuilding it per test was pure overhead). *)
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let tests = micro_tests ctx in
-  Printf.printf "%-32s %14s %10s\n" "benchmark" "ns/run" "samples";
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg Instance.[ monotonic_clock ] test in
-      let ols =
-        Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
-      in
-      let estimates = Analyze.all ols Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          let ns =
-            match Analyze.OLS.estimates ols_result with
-            | Some (t :: _) -> t
-            | _ -> Float.nan
-          in
-          let samples =
-            match Hashtbl.find_opt results name with
-            | Some b -> b.Benchmark.stats.Benchmark.samples
-            | None -> 0
-          in
-          Printf.printf "%-32s %14.0f %10d\n" name ns samples)
-        estimates)
-    tests;
-  flush stdout
+  (* Open the JSON sink up front so a bad path fails before the suite
+     runs, not after minutes of benchmarking. *)
+  let json_oc = if !json_file = "" then None else Some (open_out !json_file) in
+  Printf.printf "%-32s %14s %10s\n%!" "benchmark" "ns/run" "samples";
+  let rows =
+    List.map
+      (fun (name, test) ->
+        let results = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+        let estimates = Analyze.all ols Instance.monotonic_clock results in
+        let ns =
+          match Hashtbl.find_opt estimates name with
+          | Some ols_result -> (
+              match Analyze.OLS.estimates ols_result with
+              | Some (t :: _) -> t
+              | _ -> Float.nan)
+          | None -> Float.nan
+        in
+        let samples =
+          match Hashtbl.find_opt results name with
+          | Some b -> b.Benchmark.stats.Benchmark.samples
+          | None -> 0
+        in
+        (* Flush per test so a partial table survives interrupts. *)
+        Printf.printf "%-32s %14.0f %10d\n%!" name ns samples;
+        (name, ns, samples))
+      tests
+  in
+  match json_oc with Some oc -> emit_json oc rows | None -> ()
 
 (* ------------------------------------------------------------------ *)
 

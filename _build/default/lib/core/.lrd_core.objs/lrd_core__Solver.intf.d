@@ -1,1 +1,1 @@
-lib/core/solver.mli: Format Model
+lib/core/solver.mli: Format Model Workload

@@ -45,96 +45,171 @@ let log_src = Logs.Src.create "lrd.solver" ~doc:"fluid queue loss solver"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-(* One resolution level: the two chains, the discretized increment
-   kernels with their FFT plans, and the per-bin expected overflow. *)
-type level = {
-  m : int;
-  step : float;
-  lower_kernel : [ `Plan of Lrd_numerics.Convolution.plan | `Direct of float array ];
-  upper_kernel : [ `Plan of Lrd_numerics.Convolution.plan | `Direct of float array ];
-  overflow : float array;  (* E[W_l | Q = j d], j = 0 .. m. *)
-}
+(* ------------------------------------------------------------------ *)
+(* Per-level workspace.
 
-let make_level ?(convolution = `Auto) workload ~buffer ~m =
-  let bins = Workload.discretize workload ~buffer ~bins:m in
-  let use_fft =
-    match convolution with
-    | `Fft -> true
-    | `Direct -> false
-    (* FFT pays off once the direct product m * (2m+1) is large. *)
-    | `Auto -> m >= 64
-  in
-  let kernel w =
-    if use_fft then
-      `Plan (Lrd_numerics.Convolution.make_plan ~kernel:w ~max_signal:(m + 1))
-    else `Direct w
-  in
-  let overflow =
-    Array.init (m + 1) (fun j ->
-        Workload.expected_overflow workload ~buffer
-          ~occupancy:(Float.min buffer (float_of_int j *. bins.Workload.step)))
-  in
-  {
-    m;
-    step = bins.Workload.step;
-    lower_kernel = kernel bins.Workload.lower;
-    upper_kernel = kernel bins.Workload.upper;
-    overflow;
+   One resolution level owns everything a Lindley step touches: the
+   occupancy pmfs of both chains, the dual-channel convolution plan for
+   the discretized increment kernels (or the raw kernels on the direct
+   path), the convolution output buffers, and the per-bin
+   expected-overflow table.  All of it is allocated when the level is
+   built — [step] then advances both chains
+   with zero heap allocation, which is what makes the 200k-iteration
+   sweeps FLOP-bound instead of GC-bound. *)
+
+module Workspace = struct
+  type kernels =
+    | Dual of Lrd_numerics.Convolution.dual_plan
+    | Direct of { lower : float array; upper : float array }
+
+  type t = {
+    m : int;
+    width : float;  (* grid step d = buffer / m *)
+    kernels : kernels;
+    overflow : float array;  (* E[W_l | Q = j d], j = 0 .. m. *)
+    lower_q : float array;  (* floor-chain occupancy pmf, length m + 1 *)
+    upper_q : float array;  (* ceiling-chain occupancy pmf *)
+    conv_lower : float array;  (* convolution outputs, length 3 m + 1 *)
+    conv_upper : float array;
   }
 
-let convolve kernel q =
-  match kernel with
-  | `Plan plan -> Lrd_numerics.Convolution.convolve_plan plan q
-  | `Direct w -> Lrd_numerics.Convolution.direct q w
+  let bins t = t.m
+  let grid_step t = t.width
+  let lower_pmf t = Array.copy t.lower_q
+  let upper_pmf t = Array.copy t.upper_q
 
-(* One Lindley step on the grid: convolve the occupancy pmf with the
-   increment pmf, then fold spill-over into the boundary states
-   (eqs. 19-20).  Index s of the convolution corresponds to the value
-   (s - m) d. *)
-let step level kernel q =
-  let m = level.m in
-  let u = convolve kernel q in
-  let q' = Array.make (m + 1) 0.0 in
-  q'.(0) <- Lrd_numerics.Summation.kahan_slice u ~pos:0 ~len:(m + 1);
-  for j = 1 to m - 1 do
-    q'.(j) <- Float.max 0.0 u.(m + j)
-  done;
-  q'.(m) <-
-    Lrd_numerics.Summation.kahan_slice u ~pos:(2 * m)
-      ~len:(Array.length u - (2 * m));
-  (* FFT rounding can leave tiny negatives / drift; clamp and rescale so
-     the pmf stays a probability vector. *)
-  if q'.(0) < 0.0 then q'.(0) <- 0.0;
-  if q'.(m) < 0.0 then q'.(m) <- 0.0;
-  let total = Lrd_numerics.Summation.kahan q' in
-  if total > 0.0 && Float.abs (total -. 1.0) > 1e-15 then
-    for j = 0 to m do
-      q'.(j) <- q'.(j) /. total
+  let make ?(convolution = `Auto) workload ~buffer ~m =
+    let bins = Workload.discretize workload ~buffer ~bins:m in
+    let use_fft =
+      match convolution with
+      | `Fft -> true
+      | `Direct -> false
+      | `Auto ->
+          (* One centralized crossover for signal (m+1) vs kernel (2m+1). *)
+          Lrd_numerics.Convolution.prefer_fft ~na:(m + 1) ~nb:((2 * m) + 1)
+    in
+    let kernels =
+      if use_fft then
+        Dual
+          (Lrd_numerics.Convolution.make_dual_plan
+             ~kernel_a:bins.Workload.lower ~kernel_b:bins.Workload.upper
+             ~max_signal:(m + 1))
+      else
+        Direct { lower = bins.Workload.lower; upper = bins.Workload.upper }
+    in
+    let overflow =
+      Array.init (m + 1) (fun j ->
+          Workload.expected_overflow workload ~buffer
+            ~occupancy:(Float.min buffer (float_of_int j *. bins.Workload.step)))
+    in
+    let lower_q = Array.make (m + 1) 0.0 in
+    let upper_q = Array.make (m + 1) 0.0 in
+    lower_q.(0) <- 1.0;
+    upper_q.(m) <- 1.0;
+    {
+      m;
+      width = bins.Workload.step;
+      kernels;
+      overflow;
+      lower_q;
+      upper_q;
+      conv_lower = Array.make ((3 * m) + 1) 0.0;
+      conv_upper = Array.make ((3 * m) + 1) 0.0;
+    }
+
+  (* Fold the convolution [u] back onto the grid in place (eqs. 19-20):
+     mass below 0 collapses into the empty state, mass above B into the
+     full state; index s of [u] corresponds to the value (s - m) d.
+     FFT rounding can leave tiny negatives / drift, so clamp and rescale
+     to keep the pmf a probability vector.
+
+     The Neumaier sums are written out inline rather than through
+     [Summation]: without flambda a cross-module call that takes or
+     returns a float boxes it, and [Float.max] likewise, which would
+     break the zero-allocation invariant of [step].  Local refs compile
+     to unboxed mutable variables, so this whole function stays off the
+     heap. *)
+  let fold t u q =
+    let m = t.m in
+    (* A local helper closure would re-box the refs; the Neumaier body
+       is therefore repeated verbatim in each of the three sums. *)
+    let s = ref 0.0 and c = ref 0.0 in
+    for i = 0 to m do
+      let x = Array.unsafe_get u i in
+      let t' = !s +. x in
+      if Float.abs !s >= Float.abs x then c := !c +. (!s -. t' +. x)
+      else c := !c +. (x -. t' +. !s);
+      s := t'
     done;
-  q'
+    let q0 = !s +. !c in
+    q.(0) <- (if q0 > 0.0 then q0 else 0.0);
+    for j = 1 to m - 1 do
+      let v = Array.unsafe_get u (m + j) in
+      Array.unsafe_set q j (if v > 0.0 then v else 0.0)
+    done;
+    s := 0.0;
+    c := 0.0;
+    for i = 2 * m to Array.length u - 1 do
+      let x = Array.unsafe_get u i in
+      let t' = !s +. x in
+      if Float.abs !s >= Float.abs x then c := !c +. (!s -. t' +. x)
+      else c := !c +. (x -. t' +. !s);
+      s := t'
+    done;
+    let qm = !s +. !c in
+    q.(m) <- (if qm > 0.0 then qm else 0.0);
+    s := 0.0;
+    c := 0.0;
+    for i = 0 to m do
+      let x = Array.unsafe_get q i in
+      let t' = !s +. x in
+      if Float.abs !s >= Float.abs x then c := !c +. (!s -. t' +. x)
+      else c := !c +. (x -. t' +. !s);
+      s := t'
+    done;
+    let total = !s +. !c in
+    if total > 0.0 && Float.abs (total -. 1.0) > 1e-15 then
+      for j = 0 to m do
+        q.(j) <- q.(j) /. total
+      done
 
-let loss_of level ~norm q =
-  let acc = Lrd_numerics.Summation.create () in
-  Array.iteri
-    (fun j p ->
-      if p > 0.0 then Lrd_numerics.Summation.add acc (p *. level.overflow.(j)))
-    q;
-  Lrd_numerics.Summation.total acc /. norm
+  (* One Lindley step for BOTH chains: a single dual-channel convolution
+     (floor pmf in the real channel, ceiling pmf in the imaginary one)
+     followed by the boundary folds.  Zero heap allocation. *)
+  let step t =
+    (match t.kernels with
+    | Dual plan ->
+        Lrd_numerics.Convolution.execute_dual plan ~a:t.lower_q ~b:t.upper_q
+          ~dst_a:t.conv_lower ~dst_b:t.conv_upper
+    | Direct { lower; upper } ->
+        Lrd_numerics.Convolution.direct_into t.lower_q lower ~dst:t.conv_lower;
+        Lrd_numerics.Convolution.direct_into t.upper_q upper ~dst:t.conv_upper);
+    fold t t.conv_lower t.lower_q;
+    fold t t.conv_upper t.upper_q
 
-(* Doubling the grid: old point j d sits exactly at new point 2j (d/2),
-   so re-quantization is an exact re-indexing and both chains keep their
-   bound property (Proposition II.1 (v) plus footnote 3). *)
-let refine_pmf q =
-  let m = Array.length q - 1 in
-  let q' = Array.make ((2 * m) + 1) 0.0 in
-  Array.iteri (fun j p -> q'.(2 * j) <- p) q;
-  q'
+  let loss_of t ~norm q =
+    let acc = Lrd_numerics.Summation.create () in
+    Array.iteri
+      (fun j p ->
+        if p > 0.0 then Lrd_numerics.Summation.add acc (p *. t.overflow.(j)))
+      q;
+    Lrd_numerics.Summation.total acc /. norm
 
-let initial_pmfs m =
-  let lower = Array.make (m + 1) 0.0 and upper = Array.make (m + 1) 0.0 in
-  lower.(0) <- 1.0;
-  upper.(m) <- 1.0;
-  (lower, upper)
+  let losses t ~norm = (loss_of t ~norm t.lower_q, loss_of t ~norm t.upper_q)
+
+  (* Doubling the grid: old point j d sits exactly at new point 2j (d/2),
+     so re-quantization is an exact re-indexing and both chains keep
+     their bound property (Proposition II.1 (v) plus footnote 3). *)
+  let refine_from ~src dst =
+    if dst.m <> 2 * src.m then
+      invalid_arg "Solver.Workspace.refine_from: dst must have twice the bins";
+    Array.fill dst.lower_q 0 (dst.m + 1) 0.0;
+    Array.fill dst.upper_q 0 (dst.m + 1) 0.0;
+    for j = 0 to src.m do
+      dst.lower_q.(2 * j) <- src.lower_q.(j);
+      dst.upper_q.(2 * j) <- src.upper_q.(j)
+    done
+end
 
 type occupancy = {
   step : float;
@@ -227,13 +302,11 @@ let solve_detailed ?(params = default_params) model ~service_rate ~buffer =
       },
       point_mass_occupancy )
   else begin
-    let level =
+    let ws =
       ref
-        (make_level ~convolution:params.convolution workload ~buffer
+        (Workspace.make ~convolution:params.convolution workload ~buffer
            ~m:params.initial_bins)
     in
-    let lower, upper = initial_pmfs params.initial_bins in
-    let lower = ref lower and upper = ref upper in
     let iterations = ref 0 and refinements = ref 0 in
     let prev_lower = ref Float.nan and prev_upper = ref Float.nan in
     let finish ~converged ~lo ~hi =
@@ -243,14 +316,14 @@ let solve_detailed ?(params = default_params) model ~service_rate ~buffer =
           lower_bound = lo;
           upper_bound = hi;
           iterations = !iterations;
-          bins = !level.m;
+          bins = Workspace.bins !ws;
           refinements = !refinements;
           converged;
         },
         {
-          step = !level.step;
-          lower_pmf = Array.copy !lower;
-          upper_pmf = Array.copy !upper;
+          step = Workspace.grid_step !ws;
+          lower_pmf = Workspace.lower_pmf !ws;
+          upper_pmf = Workspace.upper_pmf !ws;
         } )
     in
     let rec loop () =
@@ -258,16 +331,15 @@ let solve_detailed ?(params = default_params) model ~service_rate ~buffer =
       let budget = params.max_iterations - !iterations in
       let steps = min params.check_every budget in
       for _ = 1 to steps do
-        lower := step !level !level.lower_kernel !lower;
-        upper := step !level !level.upper_kernel !upper;
+        Workspace.step !ws;
         incr iterations
       done;
-      let lo = loss_of !level ~norm !lower
-      and hi = loss_of !level ~norm !upper in
+      let lo, hi = Workspace.losses !ws ~norm in
       let gap = hi -. lo in
       let mid = (hi +. lo) /. 2.0 in
       Log.debug (fun f ->
-          f "n=%d m=%d lower=%.4g upper=%.4g" !iterations !level.m lo hi);
+          f "n=%d m=%d lower=%.4g upper=%.4g" !iterations (Workspace.bins !ws)
+            lo hi);
       if hi < params.negligible_loss then finish ~converged:true ~lo ~hi
       else if gap <= params.tolerance *. mid then
         finish ~converged:true ~lo ~hi
@@ -289,20 +361,15 @@ let solve_detailed ?(params = default_params) model ~service_rate ~buffer =
         prev_lower := lo;
         prev_upper := hi;
         if stalled then begin
-          if !level.m * 2 <= params.max_bins then begin
-            Log.debug (fun f -> f "refining grid to m=%d" (!level.m * 2));
-            level :=
-              make_level ~convolution:params.convolution workload ~buffer
-                ~m:(!level.m * 2);
-            if params.warm_restart then begin
-              lower := refine_pmf !lower;
-              upper := refine_pmf !upper
-            end
-            else begin
-              let fresh_lower, fresh_upper = initial_pmfs !level.m in
-              lower := fresh_lower;
-              upper := fresh_upper
-            end;
+          let m = Workspace.bins !ws in
+          if m * 2 <= params.max_bins then begin
+            Log.debug (fun f -> f "refining grid to m=%d" (m * 2));
+            let next =
+              Workspace.make ~convolution:params.convolution workload ~buffer
+                ~m:(m * 2)
+            in
+            if params.warm_restart then Workspace.refine_from ~src:!ws next;
+            ws := next;
             incr refinements;
             prev_lower := Float.nan;
             prev_upper := Float.nan;
@@ -351,22 +418,20 @@ let iterate_snapshots model ~service_rate ~buffer ~bins ~at =
   let norm =
     Model.mean_rate model *. model.Model.interarrival.Lrd_dist.Interarrival.mean
   in
-  let level = make_level workload ~buffer ~m:bins in
-  let lower, upper = initial_pmfs bins in
-  let lower = ref lower and upper = ref upper in
+  let ws = Workspace.make workload ~buffer ~m:bins in
   let current = ref 0 in
   List.map
     (fun n ->
       while !current < n do
-        lower := step level level.lower_kernel !lower;
-        upper := step level level.upper_kernel !upper;
+        Workspace.step ws;
         incr current
       done;
+      let lower_loss, upper_loss = Workspace.losses ws ~norm in
       {
         iteration = n;
-        lower_pmf = Array.copy !lower;
-        upper_pmf = Array.copy !upper;
-        lower_loss = loss_of level ~norm !lower;
-        upper_loss = loss_of level ~norm !upper;
+        lower_pmf = Workspace.lower_pmf ws;
+        upper_pmf = Workspace.upper_pmf ws;
+        lower_loss;
+        upper_loss;
       })
     sorted

@@ -67,6 +67,57 @@ type result = {
 
 val pp_result : Format.formatter -> result -> unit
 
+module Workspace : sig
+  type t
+  (** A mutable per-resolution-level workspace: the occupancy pmfs of
+      both chains, the dual-channel FFT convolution plan built from the
+      discretized increment kernels (floor pmf rides the real channel,
+      ceiling pmf the imaginary channel of one complex transform), the
+      convolution output buffers, and the expected-overflow table.
+      Everything is allocated once when the level is built; {!step} then
+      advances both chains with {e zero heap allocation}, so iterating
+      a level is FLOP-bound rather than GC-bound. *)
+
+  val make :
+    ?convolution:[ `Auto | `Fft | `Direct ] ->
+    Workload.t ->
+    buffer:float ->
+    m:int ->
+    t
+  (** Builds the workspace for an [m]-bin grid with the chains at their
+      initial states (floor chain empty, ceiling chain full).  [`Auto]
+      picks FFT or direct convolution via
+      {!Lrd_numerics.Convolution.prefer_fft}. *)
+
+  val bins : t -> int
+  (** The grid resolution [m]. *)
+
+  val grid_step : t -> float
+  (** The grid spacing [d = buffer / m]. *)
+
+  val step : t -> unit
+  (** One Lindley step (eqs. 19-20) for BOTH chains: a single
+      dual-channel convolution followed by the boundary folds.  Costs
+      two FFT transforms and performs no heap allocation. *)
+
+  val losses : t -> norm:float -> float * float
+  (** Current [(lower, upper)] loss-rate bounds (eq. 23). *)
+
+  val lower_pmf : t -> float array
+  (** Copy of the floor-chain occupancy pmf (length [m + 1]). *)
+
+  val upper_pmf : t -> float array
+  (** Copy of the ceiling-chain occupancy pmf. *)
+
+  val refine_from : src:t -> t -> unit
+  (** [refine_from ~src dst] seeds [dst]'s chains from [src]'s on a
+      doubled grid (footnote 3's warm restart: old point [j d] is new
+      point [2 j (d/2)], an exact re-indexing).
+      @raise Invalid_argument unless [dst] has exactly twice the bins. *)
+end
+(** The solver's engine, exposed for benchmarks and for tests that pin
+    the zero-allocation steady-state invariant with [Gc.minor_words]. *)
+
 type occupancy = {
   step : float;  (** Grid spacing [d]; state [j] is occupancy [j * step]. *)
   lower_pmf : float array;

@@ -1,1 +1,1 @@
-lib/numerics/fft.ml: Array Float
+lib/numerics/fft.ml: Array Float Hashtbl

@@ -4,29 +4,78 @@
     the sequence of length [na + nb - 1] with
     [c.(k) = sum_j a.(j) * b.(k - j)].  This is the kernel of the paper's
     queue-occupancy recursion (eq. 19): each solver iteration convolves the
-    occupancy vector with the discretized increment distribution. *)
+    occupancy vector with the discretized increment distribution.
+
+    The planned APIs ({!execute}, {!execute_dual}) write into
+    caller-owned buffers and reuse plan-owned scratch, so the steady
+    state of an iterated solve performs zero heap allocation. *)
 
 val direct : float array -> float array -> float array
 (** O(na * nb) schoolbook convolution.  Exact up to rounding; used as the
     oracle for {!fft} and preferred for very short inputs. *)
 
+val direct_into : float array -> float array -> dst:float array -> unit
+(** [direct_into a b ~dst] writes the [na + nb - 1] convolution values
+    into the prefix of [dst] without allocating.
+    @raise Invalid_argument if an input is empty or [dst] is too short. *)
+
 val fft : float array -> float array -> float array
 (** O(n log n) convolution via zero-padded FFT (as suggested in the paper,
     Section II, citing Oppenheim & Schafer). *)
 
+val prefer_fft : na:int -> nb:int -> bool
+(** The single measured FFT/direct crossover used by {!auto} and by the
+    solver's grid-level construction: true when the length product
+    [na * nb] is large enough for the FFT to win. *)
+
 val auto : float array -> float array -> float array
-(** Picks {!direct} or {!fft} based on input sizes. *)
+(** Picks {!direct} or {!fft} using {!prefer_fft}. *)
 
 type plan
 (** A reusable FFT plan for repeated convolutions against a fixed kernel,
     as in the solver where the increment distribution [w] is fixed across
-    iterations while the occupancy vector changes. *)
+    iterations while the occupancy vector changes.  The plan owns its
+    scratch buffers; a single plan must not be used concurrently. *)
 
 val make_plan : kernel:float array -> max_signal:int -> plan
 (** [make_plan ~kernel ~max_signal] precomputes the padded transform of
     [kernel] for convolving with signals of length [<= max_signal]. *)
 
+val execute : plan -> float array -> dst:float array -> unit
+(** [execute plan a ~dst] writes [a * kernel] (length
+    [na + kernel_len - 1]) into the prefix of [dst].  Performs zero heap
+    allocation.  @raise Invalid_argument if [a] is empty or longer than
+    the plan's [max_signal], or [dst] is too short. *)
+
 val convolve_plan : plan -> float array -> float array
-(** [convolve_plan plan a] is [fft kernel a] computed with the cached
-    kernel transform.  @raise Invalid_argument if [a] is longer than the
-    plan's [max_signal]. *)
+(** [convolve_plan plan a] is {!execute} into a fresh result array. *)
+
+type dual_plan
+(** Plans TWO fixed kernels sharing one transform: the first signal is
+    packed into the real part and the second into the imaginary part of
+    a single complex FFT, the two spectra are separated by Hermitian
+    symmetry, multiplied by their respective kernel spectra, and both
+    products recovered from one inverse transform — two transforms per
+    call where independent plans would spend four.  This is the engine
+    under the solver's floor/ceiling Lindley step. *)
+
+val make_dual_plan :
+  kernel_a:float array ->
+  kernel_b:float array ->
+  max_signal:int ->
+  dual_plan
+(** Precomputes both kernel spectra on a shared grid sized for signals
+    of length [<= max_signal].
+    @raise Invalid_argument on an empty kernel or nonpositive size. *)
+
+val execute_dual :
+  dual_plan ->
+  a:float array ->
+  b:float array ->
+  dst_a:float array ->
+  dst_b:float array ->
+  unit
+(** [execute_dual plan ~a ~b ~dst_a ~dst_b] writes [a * kernel_a] into
+    [dst_a] and [b * kernel_b] into [dst_b] using two transforms total
+    and zero heap allocation.  @raise Invalid_argument on empty or
+    over-long signals or too-short destinations. *)

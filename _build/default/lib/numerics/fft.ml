@@ -4,26 +4,127 @@ let next_power_of_two n =
   let rec go p = if p >= n then p else go (p * 2) in
   go 1
 
-(* Bit-reversal permutation, in place. *)
-let bit_reverse re im =
-  let n = Array.length re in
-  let j = ref 0 in
-  for i = 0 to n - 2 do
-    if i < !j then begin
-      let tr = re.(i) and ti = im.(i) in
-      re.(i) <- re.(!j);
-      im.(i) <- im.(!j);
-      re.(!j) <- tr;
-      im.(!j) <- ti
-    end;
-    (* Add one to [j] viewed as a bit-reversed counter. *)
-    let m = ref (n lsr 1) in
-    while !m >= 1 && !j land !m <> 0 do
-      j := !j lxor !m;
-      m := !m lsr 1
+(* ------------------------------------------------------------------ *)
+(* Planned transforms.
+
+   A plan for size [n] precomputes the bit-reversal permutation and one
+   flat twiddle-factor table shared by every butterfly stage: stage
+   [len = 2^s] reads its [half = len/2] factors at offset [half - 1]
+   (the halves of the earlier stages sum to exactly that), so the table
+   holds [n - 1] factors total.  Each factor is computed by a direct
+   cos/sin call rather than the repeated-multiplication recurrence of
+   the unplanned code path, which both removes the O(len) error
+   accumulation within a stage and moves all trigonometry out of the
+   transform itself. *)
+
+type plan = {
+  size : int;
+  bitrev : int array;  (* bitrev.(i) is i with log2 n bits reversed. *)
+  wre : float array;  (* cos of the forward angle -2 pi k / len. *)
+  wim : float array;  (* sin of the forward angle (<= 0 half-plane). *)
+}
+
+let make_plan n =
+  if not (is_power_of_two n) then
+    invalid_arg "Fft.make_plan: size must be a power of two";
+  let bitrev = Array.make n 0 in
+  for i = 1 to n - 1 do
+    (* Shift the previous reversal right and bring in the new low bit. *)
+    bitrev.(i) <- (bitrev.(i lsr 1) lsr 1) lor (if i land 1 = 0 then 0 else n lsr 1)
+  done;
+  let wre = Array.make (max 1 (n - 1)) 1.0 in
+  let wim = Array.make (max 1 (n - 1)) 0.0 in
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let offset = half - 1 in
+    for k = 0 to half - 1 do
+      let ang = -2.0 *. Float.pi *. float_of_int k /. float_of_int !len in
+      wre.(offset + k) <- cos ang;
+      wim.(offset + k) <- sin ang
     done;
-    j := !j lor !m
+    len := !len * 2
+  done;
+  { size = n; bitrev; wre; wim }
+
+let size plan = plan.size
+
+let check_plan plan re im =
+  if Array.length re <> plan.size || Array.length im <> plan.size then
+    invalid_arg "Fft: array length does not match the plan size"
+
+(* The in-place butterflies.  [conjugate = false] is the forward
+   transform; [true] runs the inverse (without the 1/n scaling) by
+   negating the table's sine.  Performs no heap allocation. *)
+let transform_ip plan ~conjugate re im =
+  let n = plan.size in
+  let bitrev = plan.bitrev in
+  for i = 0 to n - 1 do
+    let j = Array.unsafe_get bitrev i in
+    if i < j then begin
+      let tr = Array.unsafe_get re i and ti = Array.unsafe_get im i in
+      Array.unsafe_set re i (Array.unsafe_get re j);
+      Array.unsafe_set im i (Array.unsafe_get im j);
+      Array.unsafe_set re j tr;
+      Array.unsafe_set im j ti
+    end
+  done;
+  let wre = plan.wre and wim = plan.wim in
+  let sign = if conjugate then -1.0 else 1.0 in
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let offset = half - 1 in
+    let i = ref 0 in
+    while !i < n do
+      for k = 0 to half - 1 do
+        let cr = Array.unsafe_get wre (offset + k)
+        and ci = sign *. Array.unsafe_get wim (offset + k) in
+        let a = !i + k in
+        let b = a + half in
+        let rb = Array.unsafe_get re b and ib = Array.unsafe_get im b in
+        let tr = (rb *. cr) -. (ib *. ci) and ti = (rb *. ci) +. (ib *. cr) in
+        let ra = Array.unsafe_get re a and ia = Array.unsafe_get im a in
+        Array.unsafe_set re b (ra -. tr);
+        Array.unsafe_set im b (ia -. ti);
+        Array.unsafe_set re a (ra +. tr);
+        Array.unsafe_set im a (ia +. ti)
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
   done
+
+let forward_ip plan ~re ~im =
+  check_plan plan re im;
+  transform_ip plan ~conjugate:false re im
+
+let inverse_ip plan ~re ~im =
+  check_plan plan re im;
+  transform_ip plan ~conjugate:true re im;
+  let n = plan.size in
+  let inv = 1.0 /. float_of_int n in
+  for i = 0 to n - 1 do
+    Array.unsafe_set re i (Array.unsafe_get re i *. inv);
+    Array.unsafe_set im i (Array.unsafe_get im i *. inv)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Unplanned API.
+
+   Sizes are powers of two, so at most ~60 distinct plans can ever
+   exist; memoizing them makes the plain [forward]/[inverse] calls all
+   over the statistics and trace generators reuse the tables too. *)
+
+let plan_cache : (int, plan) Hashtbl.t = Hashtbl.create 16
+
+let cached_plan n =
+  match Hashtbl.find_opt plan_cache n with
+  | Some p -> p
+  | None ->
+      let p = make_plan n in
+      Hashtbl.add plan_cache n p;
+      p
 
 let check re im =
   let n = Array.length re in
@@ -32,49 +133,13 @@ let check re im =
   if not (is_power_of_two n) then
     invalid_arg "Fft: length must be a power of two"
 
-(* Iterative Cooley-Tukey butterflies; [sign] is -1 for the forward
-   transform and +1 for the inverse. *)
-let transform ~sign re im =
+let forward ~re ~im =
   check re im;
-  let n = Array.length re in
-  if n > 1 then begin
-    bit_reverse re im;
-    let len = ref 2 in
-    while !len <= n do
-      let half = !len / 2 in
-      let ang = float_of_int sign *. 2.0 *. Float.pi /. float_of_int !len in
-      let wr = cos ang and wi = sin ang in
-      let i = ref 0 in
-      while !i < n do
-        let cr = ref 1.0 and ci = ref 0.0 in
-        for k = 0 to half - 1 do
-          let a = !i + k and b = !i + k + half in
-          let tr = (re.(b) *. !cr) -. (im.(b) *. !ci)
-          and ti = (re.(b) *. !ci) +. (im.(b) *. !cr) in
-          re.(b) <- re.(a) -. tr;
-          im.(b) <- im.(a) -. ti;
-          re.(a) <- re.(a) +. tr;
-          im.(a) <- im.(a) +. ti;
-          let nr = (!cr *. wr) -. (!ci *. wi) in
-          ci := (!cr *. wi) +. (!ci *. wr);
-          cr := nr
-        done;
-        i := !i + !len
-      done;
-      len := !len * 2
-    done
-  end
-
-let forward ~re ~im = transform ~sign:(-1) re im
+  transform_ip (cached_plan (Array.length re)) ~conjugate:false re im
 
 let inverse ~re ~im =
-  transform ~sign:1 re im;
-  let n = Array.length re in
-  let inv = 1.0 /. float_of_int n in
-  for i = 0 to n - 1 do
-    re.(i) <- re.(i) *. inv;
-    im.(i) <- im.(i) *. inv
-  done
+  check re im;
+  inverse_ip (cached_plan (Array.length re)) ~re ~im
 
 let dft_naive ~re ~im =
   let n = Array.length re in

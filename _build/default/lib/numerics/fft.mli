@@ -4,7 +4,15 @@
     and imaginary parts.  Lengths must be powers of two.  The forward
     transform computes [X_k = sum_n x_n exp(-2 i pi k n / N)]; the inverse
     transform includes the [1/N] normalization so that
-    [inverse (forward x) = x] up to rounding. *)
+    [inverse (forward x) = x] up to rounding.
+
+    Two API levels are provided.  The planned API ({!make_plan},
+    {!forward_ip}, {!inverse_ip}) precomputes the twiddle-factor table
+    and bit-reversal permutation once and then transforms caller-owned
+    buffers with zero heap allocation per call — this is what the
+    solver's convolution engine iterates hundreds of thousands of times.
+    The plain {!forward}/{!inverse} calls keep the historical signature
+    and reuse memoized plans internally. *)
 
 val is_power_of_two : int -> bool
 (** [is_power_of_two n] is [true] iff [n] is a positive power of two. *)
@@ -12,9 +20,34 @@ val is_power_of_two : int -> bool
 val next_power_of_two : int -> int
 (** [next_power_of_two n] is the smallest power of two [>= max 1 n]. *)
 
+type plan
+(** Precomputed twiddle factors and bit-reversal indices for one
+    transform size.  Plans are immutable and can be shared freely. *)
+
+val make_plan : int -> plan
+(** [make_plan n] builds a plan for size-[n] transforms.  Cost is
+    [O(n)] including [n - 1] trigonometric evaluations; every factor is
+    computed by a direct cos/sin call, so planned transforms avoid the
+    error-accumulating recurrence of a twiddle-on-the-fly butterfly.
+    @raise Invalid_argument unless [n] is a power of two. *)
+
+val size : plan -> int
+(** The transform size the plan was built for. *)
+
+val forward_ip : plan -> re:float array -> im:float array -> unit
+(** In-place forward transform using the plan's tables.  Performs no
+    heap allocation.  @raise Invalid_argument if the array lengths do
+    not match the plan size. *)
+
+val inverse_ip : plan -> re:float array -> im:float array -> unit
+(** In-place inverse transform with [1/N] normalization; allocation-free
+    like {!forward_ip}.  @raise Invalid_argument as for {!forward_ip}. *)
+
 val forward : re:float array -> im:float array -> unit
-(** In-place forward transform.  @raise Invalid_argument if the arrays
-    have different lengths or a length that is not a power of two. *)
+(** In-place forward transform.  Reuses an internally memoized plan for
+    the given size (sizes are powers of two, so the memo table stays
+    tiny).  @raise Invalid_argument if the arrays have different lengths
+    or a length that is not a power of two. *)
 
 val inverse : re:float array -> im:float array -> unit
 (** In-place inverse transform with [1/N] normalization.
@@ -23,4 +56,4 @@ val inverse : re:float array -> im:float array -> unit
 val dft_naive : re:float array -> im:float array -> float array * float array
 (** Direct O(N^2) discrete Fourier transform of the given complex signal,
     returned as fresh arrays.  Any length is accepted.  Intended as a test
-    oracle for {!forward}. *)
+    oracle for {!forward} and {!forward_ip}. *)

@@ -376,6 +376,79 @@ let test_solver_rejects_bad_input () =
     (Invalid_argument "Solver.solve: buffer must be nonnegative") (fun () ->
       ignore (Solver.solve m ~service_rate:1.0 ~buffer:(-1.0)))
 
+let test_solver_golden_matrix () =
+  (* Bit-level regression guard for the workspace/dual-channel rewrite:
+     bounds captured from the pre-rewrite solver on a fixed matrix of
+     models and buffers must be reproduced within 1e-12. *)
+  let abs_close msg expected actual =
+    if Float.abs (expected -. actual) > 1e-12 then
+      Alcotest.failf "%s: expected %.17g, got %.17g" msg expected actual
+  in
+  let cases =
+    [
+      ( "exp-b2",
+        (fun () -> Solver.solve (exp_model 1.0) ~service_rate:1.25 ~buffer:2.0),
+        0.13421694926699876,
+        0.13739770201764384 );
+      ( "pareto-b2",
+        (fun () ->
+          Solver.solve
+            (pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:5.0 ())
+            ~service_rate:1.25 ~buffer:2.0),
+        0.10220519151258785,
+        0.11430183756186045 );
+      ( "zero-buffer",
+        (fun () -> Solver.solve (exp_model 1.0) ~service_rate:1.25 ~buffer:0.0),
+        0.375,
+        0.375 );
+      ( "deep-buffer",
+        (fun () ->
+          Solver.solve
+            (pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:5.0 ())
+            ~service_rate:1.25 ~buffer:8.0),
+        0.012259692007597899,
+        0.014477594113131442 );
+      ( "pareto-shallow",
+        (fun () ->
+          Solver.solve
+            (pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:5.0 ())
+            ~service_rate:1.25 ~buffer:0.5),
+        0.22507759222467275,
+        0.22739642852406491 );
+    ]
+  in
+  List.iter
+    (fun (name, solve, lower, upper) ->
+      let r = solve () in
+      abs_close (name ^ " lower") lower r.Solver.lower_bound;
+      abs_close (name ^ " upper") upper r.Solver.upper_bound)
+    cases
+
+let test_workspace_step_does_not_allocate () =
+  (* The acceptance invariant of the zero-allocation rewrite: once a
+     workspace is warm, [Workspace.step] must not touch the minor heap.
+     Only meaningful in native code — bytecode boxes every float. *)
+  let m = pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:5.0 () in
+  let workload = Workload.create m ~service_rate:1.25 in
+  List.iter
+    (fun conv ->
+      let ws = Solver.Workspace.make ~convolution:conv workload ~buffer:2.0 ~m:128 in
+      for _ = 1 to 16 do
+        Solver.Workspace.step ws
+      done;
+      let w0 = Gc.minor_words () in
+      for _ = 1 to 64 do
+        Solver.Workspace.step ws
+      done;
+      let allocated = Gc.minor_words () -. w0 in
+      match Sys.backend_type with
+      | Sys.Native ->
+          if allocated > 0.0 then
+            Alcotest.failf "steady-state step allocated %.0f minor words"
+              allocated
+      | Sys.Bytecode | Sys.Other _ -> ())
+    [ `Fft; `Direct ]
+
 (* ------------------------------------------------------------------ *)
 (* Snapshots (Fig. 2 machinery) *)
 
@@ -970,6 +1043,10 @@ let () =
             test_solver_negligible_loss_reports_zero;
           Alcotest.test_case "rejects bad input" `Quick
             test_solver_rejects_bad_input;
+          Alcotest.test_case "golden matrix (pre-rewrite bounds)" `Quick
+            test_solver_golden_matrix;
+          Alcotest.test_case "workspace step allocates nothing" `Quick
+            test_workspace_step_does_not_allocate;
         ] );
       ( "snapshots",
         [

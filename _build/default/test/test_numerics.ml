@@ -91,6 +91,48 @@ let test_fft_rejects_bad_input () =
     (Invalid_argument "Fft: length must be a power of two") (fun () ->
       Fft.forward ~re:(Array.make 12 0.0) ~im:(Array.make 12 0.0))
 
+let test_fft_plan_matches_naive_dft () =
+  (* The in-place planned transform against the O(n^2) reference, at
+     every power-of-two size the solver touches. *)
+  List.iter
+    (fun n ->
+      let plan = Fft.make_plan n in
+      Alcotest.(check int) "plan size" n (Fft.size plan);
+      let re = Array.init n (fun _ -> next_float () -. 0.5) in
+      let im = Array.init n (fun _ -> next_float () -. 0.5) in
+      let expect_re, expect_im = Fft.dft_naive ~re ~im in
+      Fft.forward_ip plan ~re ~im;
+      for k = 0 to n - 1 do
+        check_close ~eps:1e-9 (Printf.sprintf "n=%d re[%d]" n k) expect_re.(k)
+          re.(k);
+        check_close ~eps:1e-9 (Printf.sprintf "n=%d im[%d]" n k) expect_im.(k)
+          im.(k)
+      done)
+    [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]
+
+let test_fft_plan_roundtrip () =
+  let n = 512 in
+  let plan = Fft.make_plan n in
+  let re = Array.init n (fun _ -> next_float ()) in
+  let im = Array.init n (fun _ -> next_float ()) in
+  let orig_re = Array.copy re and orig_im = Array.copy im in
+  Fft.forward_ip plan ~re ~im;
+  Fft.inverse_ip plan ~re ~im;
+  for k = 0 to n - 1 do
+    check_close ~eps:1e-12 "roundtrip re" orig_re.(k) re.(k);
+    check_close ~eps:1e-12 "roundtrip im" orig_im.(k) im.(k)
+  done
+
+let test_fft_plan_rejects_bad_input () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Fft.make_plan: size must be a power of two") (fun () ->
+      ignore (Fft.make_plan 12));
+  let plan = Fft.make_plan 8 in
+  Alcotest.check_raises "wrong buffer size"
+    (Invalid_argument "Fft: array length does not match the plan size")
+    (fun () ->
+      Fft.forward_ip plan ~re:(Array.make 4 0.0) ~im:(Array.make 4 0.0))
+
 (* ------------------------------------------------------------------ *)
 (* Convolution *)
 
@@ -143,6 +185,92 @@ let test_convolution_plan_rejects_long_signal () =
   Alcotest.check_raises "too long"
     (Invalid_argument "Convolution.convolve_plan: signal longer than plan")
     (fun () -> ignore (Convolution.convolve_plan plan (Array.make 5 0.0)))
+
+let test_convolution_direct_into_matches () =
+  let a = Array.init 33 (fun _ -> next_float () -. 0.4) in
+  let b = Array.init 65 (fun _ -> next_float () -. 0.2) in
+  let expected = Convolution.direct a b in
+  (* An oversized, dirty destination: only the prefix is the result. *)
+  let dst = Array.make 128 Float.nan in
+  Convolution.direct_into a b ~dst;
+  Array.iteri
+    (fun i v -> check_close ~eps:1e-12 "direct_into cell" v dst.(i))
+    expected;
+  Alcotest.check_raises "dst too short"
+    (Invalid_argument "Convolution.direct_into: dst too short") (fun () ->
+      Convolution.direct_into a b ~dst:(Array.make 10 0.0))
+
+let test_convolution_execute_into_matches () =
+  let kernel = Array.init 129 (fun _ -> next_float ()) in
+  let plan = Convolution.make_plan ~kernel ~max_signal:64 in
+  let signal = Array.init 64 (fun _ -> next_float ()) in
+  let expected = Convolution.direct signal kernel in
+  let dst = Array.make (Array.length expected) 0.0 in
+  Convolution.execute plan signal ~dst;
+  Array.iteri
+    (fun i v -> check_close ~eps:1e-10 "execute cell" v dst.(i))
+    expected;
+  Alcotest.check_raises "dst too short"
+    (Invalid_argument "Convolution.execute: dst too short") (fun () ->
+      Convolution.execute plan signal ~dst:(Array.make 10 0.0))
+
+let test_convolution_dual_matches_direct () =
+  (* One packed transform must reproduce two independent schoolbook
+     convolutions, at the exact shapes the Lindley step uses. *)
+  let m = 48 in
+  let ka = Array.init ((2 * m) + 1) (fun _ -> next_float () -. 0.5) in
+  let kb = Array.init ((2 * m) + 1) (fun _ -> next_float () -. 0.5) in
+  let plan =
+    Convolution.make_dual_plan ~kernel_a:ka ~kernel_b:kb ~max_signal:(m + 1)
+  in
+  let a = Array.init (m + 1) (fun _ -> next_float ()) in
+  let b = Array.init (m + 1) (fun _ -> next_float ()) in
+  let expect_a = Convolution.direct a ka in
+  let expect_b = Convolution.direct b kb in
+  let dst_a = Array.make (Array.length expect_a) 0.0 in
+  let dst_b = Array.make (Array.length expect_b) 0.0 in
+  Convolution.execute_dual plan ~a ~b ~dst_a ~dst_b;
+  Array.iteri
+    (fun i v -> check_close ~eps:1e-10 "channel a" v dst_a.(i))
+    expect_a;
+  Array.iteri
+    (fun i v -> check_close ~eps:1e-10 "channel b" v dst_b.(i))
+    expect_b
+
+let test_convolution_dual_different_kernel_lengths () =
+  (* The two channels may carry kernels of different lengths. *)
+  let ka = Array.init 7 (fun _ -> next_float ()) in
+  let kb = Array.init 19 (fun _ -> next_float ()) in
+  let plan = Convolution.make_dual_plan ~kernel_a:ka ~kernel_b:kb ~max_signal:10 in
+  let a = Array.init 10 (fun _ -> next_float ()) in
+  let b = Array.init 5 (fun _ -> next_float ()) in
+  let expect_a = Convolution.direct a ka in
+  let expect_b = Convolution.direct b kb in
+  let dst_a = Array.make (Array.length expect_a) 0.0 in
+  let dst_b = Array.make (Array.length expect_b) 0.0 in
+  Convolution.execute_dual plan ~a ~b ~dst_a ~dst_b;
+  Array.iteri
+    (fun i v -> check_close ~eps:1e-10 "channel a" v dst_a.(i))
+    expect_a;
+  Array.iteri
+    (fun i v -> check_close ~eps:1e-10 "channel b" v dst_b.(i))
+    expect_b
+
+let test_convolution_dual_rejects_bad_input () =
+  let plan =
+    Convolution.make_dual_plan ~kernel_a:[| 1.0 |] ~kernel_b:[| 1.0 |]
+      ~max_signal:4
+  in
+  let ok = Array.make 4 0.0 in
+  Alcotest.check_raises "signal too long"
+    (Invalid_argument "Convolution.execute_dual: signal longer than plan")
+    (fun () ->
+      Convolution.execute_dual plan ~a:(Array.make 5 0.0) ~b:ok ~dst_a:ok
+        ~dst_b:ok);
+  Alcotest.check_raises "dst too short"
+    (Invalid_argument "Convolution.execute_dual: dst too short") (fun () ->
+      Convolution.execute_dual plan ~a:ok ~b:ok ~dst_a:(Array.make 1 0.0)
+        ~dst_b:ok)
 
 (* ------------------------------------------------------------------ *)
 (* Special functions *)
@@ -456,6 +584,59 @@ let prop_fft_roundtrip =
         (fun a b -> Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a))
         orig re)
 
+let prop_planned_fft_matches_naive =
+  QCheck.Test.make ~name:"planned in-place fft matches naive dft" ~count:40
+    QCheck.(
+      pair (int_range 0 7)
+        (list_of_size (Gen.return 256) (float_range (-50.0) 50.0)))
+    (fun (exponent, xs) ->
+      let n = 1 lsl exponent in
+      let data = Array.of_list xs in
+      let re = Array.init n (fun i -> data.(2 * i)) in
+      let im = Array.init n (fun i -> data.((2 * i) + 1)) in
+      let expect_re, expect_im = Fft.dft_naive ~re ~im in
+      let plan = Fft.make_plan n in
+      Fft.forward_ip plan ~re ~im;
+      let ok = ref true in
+      for k = 0 to n - 1 do
+        if
+          Float.abs (re.(k) -. expect_re.(k))
+          > 1e-9 *. (1.0 +. Float.abs expect_re.(k))
+          || Float.abs (im.(k) -. expect_im.(k))
+             > 1e-9 *. (1.0 +. Float.abs expect_im.(k))
+        then ok := false
+      done;
+      !ok)
+
+let prop_dual_convolution_matches_direct =
+  QCheck.Test.make ~name:"dual-channel convolution matches two direct calls"
+    ~count:40
+    QCheck.(
+      pair (int_range 1 24)
+        (list_of_size (Gen.return 200) (float_range 0.0 1.0)))
+    (fun (m, xs) ->
+      let data = Array.of_list xs in
+      let take pos len = Array.sub data pos len in
+      let nk = (2 * m) + 1 in
+      let ka = take 0 nk and kb = take nk nk in
+      let a = take (2 * nk) (m + 1) and b = take ((2 * nk) + m + 1) (m + 1) in
+      let plan =
+        Convolution.make_dual_plan ~kernel_a:ka ~kernel_b:kb
+          ~max_signal:(m + 1)
+      in
+      let expect_a = Convolution.direct a ka in
+      let expect_b = Convolution.direct b kb in
+      let dst_a = Array.make (Array.length expect_a) 0.0 in
+      let dst_b = Array.make (Array.length expect_b) 0.0 in
+      Convolution.execute_dual plan ~a ~b ~dst_a ~dst_b;
+      let close x y = Float.abs (x -. y) <= 1e-9 *. (1.0 +. Float.abs x) in
+      let ok = ref true in
+      Array.iteri (fun i v -> if not (close v dst_a.(i)) then ok := false)
+        expect_a;
+      Array.iteri (fun i v -> if not (close v dst_b.(i)) then ok := false)
+        expect_b;
+      !ok)
+
 let prop_convolution_linear =
   QCheck.Test.make ~name:"convolution is linear in first argument" ~count:50
     QCheck.(
@@ -508,6 +689,11 @@ let () =
           Alcotest.test_case "parseval" `Quick test_fft_parseval;
           Alcotest.test_case "rejects bad input" `Quick
             test_fft_rejects_bad_input;
+          Alcotest.test_case "plan matches naive DFT" `Quick
+            test_fft_plan_matches_naive_dft;
+          Alcotest.test_case "plan roundtrip" `Quick test_fft_plan_roundtrip;
+          Alcotest.test_case "plan rejects bad input" `Quick
+            test_fft_plan_rejects_bad_input;
         ] );
       ( "convolution",
         [
@@ -523,6 +709,16 @@ let () =
             test_convolution_plan_matches;
           Alcotest.test_case "plan rejects long signal" `Quick
             test_convolution_plan_rejects_long_signal;
+          Alcotest.test_case "direct_into matches direct" `Quick
+            test_convolution_direct_into_matches;
+          Alcotest.test_case "execute into dst matches" `Quick
+            test_convolution_execute_into_matches;
+          Alcotest.test_case "dual-channel matches direct" `Quick
+            test_convolution_dual_matches_direct;
+          Alcotest.test_case "dual-channel uneven kernels" `Quick
+            test_convolution_dual_different_kernel_lengths;
+          Alcotest.test_case "dual-channel rejects bad input" `Quick
+            test_convolution_dual_rejects_bad_input;
         ] );
       ( "special",
         [
@@ -605,6 +801,8 @@ let () =
         qcheck
           [
             prop_fft_roundtrip;
+            prop_planned_fft_matches_naive;
+            prop_dual_convolution_matches_direct;
             prop_convolution_linear;
             prop_erf_monotone;
             prop_kahan_close_to_sorted_sum;

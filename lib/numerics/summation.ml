@@ -2,6 +2,10 @@ type accumulator = { mutable sum : float; mutable compensation : float }
 
 let create () = { sum = 0.0; compensation = 0.0 }
 
+let reset acc =
+  acc.sum <- 0.0;
+  acc.compensation <- 0.0
+
 (* Neumaier's variant of Kahan summation: also compensates when the
    running sum is smaller than the incoming term. *)
 let add acc x =
@@ -12,6 +16,13 @@ let add acc x =
   acc.sum <- t
 
 let total acc = acc.sum +. acc.compensation
+
+let add_slice acc a ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length a then
+    invalid_arg "Summation.add_slice: slice out of bounds";
+  for i = pos to pos + len - 1 do
+    add acc (Array.unsafe_get a i)
+  done
 
 let kahan_slice a ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Array.length a then

@@ -13,8 +13,18 @@ val kahan_slice : float array -> pos:int -> len:int -> float
     @raise Invalid_argument on out-of-bounds slices. *)
 
 type accumulator
-(** Mutable compensated accumulator for streaming sums. *)
+(** Mutable compensated accumulator for streaming sums.  Fields are
+    unboxed floats, so a long-lived accumulator can be {!reset} and
+    refilled with zero heap allocation — the solver's steady-state loop
+    depends on this. *)
 
 val create : unit -> accumulator
 val add : accumulator -> float -> unit
 val total : accumulator -> float
+
+val reset : accumulator -> unit
+(** Clears the accumulator for reuse without allocating a new one. *)
+
+val add_slice : accumulator -> float array -> pos:int -> len:int -> unit
+(** Adds [len] elements starting at [pos] to the accumulator;
+    allocation-free.  @raise Invalid_argument on out-of-bounds slices. *)
