@@ -553,28 +553,44 @@ let experiment_cmd =
                print the available ids." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run quick seed ids =
-    let ctx = Lrd_experiments.Data.create ~seed ~quick () in
-    match ids with
-    | [ "list" ] ->
-        List.iter
-          (fun e ->
-            Format.printf "%-18s %s@." e.Lrd_experiments.Registry.id
-              e.Lrd_experiments.Registry.title)
-          Lrd_experiments.Registry.all;
-        `Ok ()
-    | [] ->
-        Lrd_experiments.Registry.run ctx Format.std_formatter;
-        `Ok ()
-    | ids -> (
-        try
-          Lrd_experiments.Registry.run ~only:ids ctx Format.std_formatter;
-          `Ok ()
-        with Invalid_argument msg -> `Error (false, msg))
+  let jobs_arg =
+    let doc = "Total parallelism for the sweep grids: 1 runs \
+               sequentially (the default), 0 auto-sizes to the machine, \
+               N >= 2 spreads grid cells over N domains.  Results are \
+               identical for every value." in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let run quick seed jobs ids =
+    match
+      try Ok (Lrd_experiments.Data.create ~seed ~jobs ~quick ())
+      with Invalid_argument msg -> Error msg
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok ctx ->
+        Fun.protect
+          ~finally:(fun () -> Lrd_experiments.Data.teardown ctx)
+          (fun () ->
+            match ids with
+            | [ "list" ] ->
+                List.iter
+                  (fun e ->
+                    Format.printf "%-18s %s@." e.Lrd_experiments.Registry.id
+                      e.Lrd_experiments.Registry.title)
+                  Lrd_experiments.Registry.all;
+                `Ok ()
+            | [] ->
+                Lrd_experiments.Registry.run ctx Format.std_formatter;
+                `Ok ()
+            | ids -> (
+                try
+                  Lrd_experiments.Registry.run ~only:ids ctx
+                    Format.std_formatter;
+                  `Ok ()
+                with Invalid_argument msg -> `Error (false, msg)))
   in
   let doc = "run the paper's figures and the ablations" in
   Cmd.v (Cmd.info "experiment" ~doc)
-    Term.(ret (const run $ quick_arg $ seed_arg $ ids_arg))
+    Term.(ret (const run $ quick_arg $ seed_arg $ jobs_arg $ ids_arg))
 
 (* ------------------------------------------------------------------ *)
 

@@ -267,12 +267,21 @@ let mean_virtual_delay occ ~service_rate =
   let lo, hi = mean_occupancy occ in
   (lo /. service_rate, hi /. service_rate)
 
-let solve_detailed ?(params = default_params) model ~service_rate ~buffer =
+let solve_detailed ?(params = default_params) ?cache model ~service_rate
+    ~buffer =
   if not (service_rate > 0.0) then
     invalid_arg "Solver.solve: service rate must be positive";
   if not (buffer >= 0.0) then
     invalid_arg "Solver.solve: buffer must be nonnegative";
-  let workload = Workload.create model ~service_rate in
+  let workload =
+    match cache with
+    | Some (cache, key) -> Workload.Cache.workload cache ~key model ~service_rate
+    | None ->
+        (* Memoization still pays within a single solve: every grid
+           refinement re-evaluates the survival functions on a superset
+           of the coarser grid's points. *)
+        Workload.create ~memoize:true model ~service_rate
+  in
   let norm =
     Model.mean_rate model *. model.Model.interarrival.Lrd_dist.Interarrival.mean
   in
@@ -388,12 +397,12 @@ let solve_detailed ?(params = default_params) model ~service_rate ~buffer =
     loop ()
   end
 
-let solve ?params model ~service_rate ~buffer =
-  fst (solve_detailed ?params model ~service_rate ~buffer)
+let solve ?params ?cache model ~service_rate ~buffer =
+  fst (solve_detailed ?params ?cache model ~service_rate ~buffer)
 
-let solve_utilization ?params model ~utilization ~buffer_seconds =
+let solve_utilization ?params ?cache model ~utilization ~buffer_seconds =
   let c = Model.service_rate_for_utilization model ~utilization in
-  solve ?params model ~service_rate:c ~buffer:(buffer_seconds *. c)
+  solve ?params ?cache model ~service_rate:c ~buffer:(buffer_seconds *. c)
 
 type snapshot = {
   iteration : int;

@@ -148,15 +148,29 @@ val mean_virtual_delay : occupancy -> service_rate:float -> float * float
     seconds: what a fluid atom arriving at an epoch boundary waits. *)
 
 val solve :
-  ?params:params -> Model.t -> service_rate:float -> buffer:float -> result
+  ?params:params ->
+  ?cache:Workload.Cache.t * string ->
+  Model.t ->
+  service_rate:float ->
+  buffer:float ->
+  result
 (** Loss rate of the queue with the given service rate and buffer fed by
     the model.  [buffer = 0] returns the closed form
     {!Workload.zero_buffer_loss} directly.
+
+    [cache] is a {!Workload.Cache} plus a key identifying [model] within
+    it: cells of a sweep that pass the same key share one memoizing
+    workload (and hence one set of survival memo tables) instead of
+    re-deriving it per cell.  The key must be injective over the models
+    the sweep solves.  Without a cache the solve still memoizes its own
+    survival evaluations, which refinement levels reuse.  Caching never
+    changes any computed value.
     @raise Invalid_argument on nonpositive service rate or negative
     buffer. *)
 
 val solve_detailed :
   ?params:params ->
+  ?cache:Workload.Cache.t * string ->
   Model.t ->
   service_rate:float ->
   buffer:float ->
@@ -166,7 +180,11 @@ val solve_detailed :
     on a single-state grid. *)
 
 val solve_utilization :
-  ?params:params -> Model.t -> utilization:float -> buffer_seconds:float ->
+  ?params:params ->
+  ?cache:Workload.Cache.t * string ->
+  Model.t ->
+  utilization:float ->
+  buffer_seconds:float ->
   result
 (** Convenience wrapper used by all experiments: the service rate is
     [mean_rate / utilization] and the buffer is [buffer_seconds * c]

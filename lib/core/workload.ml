@@ -1,12 +1,30 @@
+(* Memo tables for the survival-function evaluations that dominate
+   discretization cost.  The keys are the raw evaluation points, so a
+   refinement level at [2 m] bins reuses every evaluation its [m]-bin
+   parent already made (the coarse grid is exactly every other point of
+   the fine one, and [buffer /. m] halves exactly in floating point), and
+   cells of a sweep that share the workload (same model and service
+   rate, different buffer) share whatever points coincide.  A mutex
+   guards each table because a cached workload may be evaluated from
+   several domains at once; evaluations are construction-time only, never
+   part of the solver's iteration hot loop. *)
+type memo = {
+  lock : Mutex.t;
+  ge : (float, float) Hashtbl.t;
+  gt : (float, float) Hashtbl.t;
+  integral : (float, float) Hashtbl.t;
+}
+
 type t = {
   service_rate : float;
   rates : float array;
   probs : float array;
   law : Lrd_dist.Interarrival.t;
   mean_rate : float;
+  memo : memo option;
 }
 
-let create model ~service_rate =
+let create ?(memoize = false) model ~service_rate =
   if not (service_rate > 0.0) then
     invalid_arg "Workload.create: service rate must be positive";
   {
@@ -15,7 +33,36 @@ let create model ~service_rate =
     probs = Lrd_dist.Marginal.probs model.Model.marginal;
     law = model.Model.interarrival;
     mean_rate = Model.mean_rate model;
+    memo =
+      (if memoize then
+         Some
+           {
+             lock = Mutex.create ();
+             ge = Hashtbl.create 512;
+             gt = Hashtbl.create 512;
+             integral = Hashtbl.create 512;
+           }
+       else None);
   }
+
+(* Computing under the table lock is deliberate: one evaluation is a
+   single pass over the marginal, and holding the lock keeps two domains
+   racing on the same point from both doing the work. *)
+let memo_find lock tbl x compute =
+  Mutex.lock lock;
+  match Hashtbl.find_opt tbl x with
+  | Some v ->
+      Mutex.unlock lock;
+      v
+  | None -> (
+      match compute x with
+      | v ->
+          Hashtbl.add tbl x v;
+          Mutex.unlock lock;
+          v
+      | exception e ->
+          Mutex.unlock lock;
+          raise e)
 
 let mean t =
   t.law.Lrd_dist.Interarrival.mean *. (t.mean_rate -. t.service_rate)
@@ -47,8 +94,23 @@ let survival ~weak t x =
     t.probs;
   Float.max 0.0 (Float.min 1.0 (Lrd_numerics.Summation.total acc))
 
-let survival_ge t x = survival ~weak:true t x
-let survival_gt t x = survival ~weak:false t x
+let survival_ge t x =
+  match t.memo with
+  | None -> survival ~weak:true t x
+  | Some m -> memo_find m.lock m.ge x (survival ~weak:true t)
+
+let survival_gt t x =
+  match t.memo with
+  | None -> survival ~weak:false t x
+  | Some m -> memo_find m.lock m.gt x (survival ~weak:false t)
+
+(* The interarrival law's integrated survival function, memoized like the
+   survival functions (it is the inner loop of the overflow table). *)
+let law_integral t x =
+  match t.memo with
+  | None -> t.law.Lrd_dist.Interarrival.survival_integral x
+  | Some m ->
+      memo_find m.lock m.integral x t.law.Lrd_dist.Interarrival.survival_integral
 
 let max_increment t =
   let max_delta =
@@ -75,8 +137,7 @@ let expected_overflow t ~buffer ~occupancy =
       let delta = t.rates.(i) -. t.service_rate in
       if delta > 0.0 then
         Lrd_numerics.Summation.add acc
-          (p *. delta
-          *. t.law.Lrd_dist.Interarrival.survival_integral (headroom /. delta)))
+          (p *. delta *. law_integral t (headroom /. delta)))
     t.probs;
   Lrd_numerics.Summation.total acc
 
@@ -146,3 +207,85 @@ let discretize t ~buffer ~bins =
   clamp lower;
   clamp upper;
   { lower; upper; half_width = m; step = d }
+
+(* ------------------------------------------------------------------ *)
+(* Cross-cell cache.
+
+   A sweep surface re-derives the same model and workload for every cell
+   of a column that varies only the buffer size (fig. 4/5: one model per
+   cutoff across seven buffers; fig. 12/13: one scaled marginal per
+   scaling factor).  The cache shares one memoizing workload per
+   caller-supplied key — so all those cells also share ONE set of
+   survival memo tables — and counts lookups/hits so tests can assert
+   the sharing actually happens.  Models and interarrival laws contain
+   closures, so identity must come from the caller: the key must be
+   injective over the models the sweep builds (e.g. the hex-printed
+   column coordinate). *)
+
+let make_workload = create
+
+module Cache = struct
+  type workload = t
+
+  type t = {
+    lock : Mutex.t;
+    models : (string, Model.t) Hashtbl.t;
+    workloads : (string * float, workload) Hashtbl.t;
+    mutable lookups : int;
+    mutable hits : int;
+  }
+
+  let create () =
+    {
+      lock = Mutex.create ();
+      models = Hashtbl.create 32;
+      workloads = Hashtbl.create 32;
+      lookups = 0;
+      hits = 0;
+    }
+
+  (* Building under the cache lock serializes construction of distinct
+     keys, which is fine: construction is a tiny fraction of the solve
+     it precedes, and the alternative is duplicated work on a race. *)
+  let find_or_build c tbl key build =
+    Mutex.lock c.lock;
+    c.lookups <- c.lookups + 1;
+    match Hashtbl.find_opt tbl key with
+    | Some v ->
+        c.hits <- c.hits + 1;
+        Mutex.unlock c.lock;
+        v
+    | None -> (
+        match build () with
+        | v ->
+            Hashtbl.add tbl key v;
+            Mutex.unlock c.lock;
+            v
+        | exception e ->
+            Mutex.unlock c.lock;
+            raise e)
+
+  let model c ~key build = find_or_build c c.models key build
+
+  let workload c ~key m ~service_rate =
+    find_or_build c c.workloads (key, service_rate) (fun () ->
+        make_workload ~memoize:true m ~service_rate)
+
+  let lookups c =
+    Mutex.lock c.lock;
+    let v = c.lookups in
+    Mutex.unlock c.lock;
+    v
+
+  let hits c =
+    Mutex.lock c.lock;
+    let v = c.hits in
+    Mutex.unlock c.lock;
+    v
+
+  let entries c =
+    Mutex.lock c.lock;
+    let v = Hashtbl.length c.models + Hashtbl.length c.workloads in
+    Mutex.unlock c.lock;
+    v
+end

@@ -15,8 +15,18 @@ type t
 (** The increment distribution for a given model, service rate and buffer
     discretization. *)
 
-val create : Model.t -> service_rate:float -> t
-(** @raise Invalid_argument unless the service rate is positive. *)
+val create : ?memoize:bool -> Model.t -> service_rate:float -> t
+(** [memoize] (default false) attaches mutex-guarded memo tables to the
+    survival-function evaluations behind [discretize] and
+    [expected_overflow].  Because a refinement level at [2 m] bins
+    evaluates a superset of its [m]-bin parent's points (the grid step
+    halves exactly in floating point), a memoizing workload re-quantizes
+    each new refinement level at roughly half cost; sharing one
+    memoizing workload across the cells of a sweep (see [Cache]) extends
+    the reuse across cells.  Memoization never changes any computed
+    value — only whether it is recomputed — and is safe to use from
+    several domains at once.
+    @raise Invalid_argument unless the service rate is positive. *)
 
 val mean : t -> float
 (** E[W] = E[T] (mean_rate - c). *)
@@ -62,3 +72,40 @@ val discretize : t -> buffer:float -> bins:int -> bins
     queue recursion because increments beyond [+-B] saturate the buffer
     regardless.  @raise Invalid_argument unless buffer and bins are
     positive. *)
+
+(** Cross-cell workload cache for parameter sweeps.
+
+    A sweep whose cells differ only in buffer size re-derives the same
+    model and workload once per cell; the cache shares a single
+    memoizing workload per caller key, so the survival memo tables are
+    shared too.  Keys must be injective over the distinct models of the
+    sweep (e.g. the hex-printed column coordinate); the service rate is
+    part of the workload key automatically.  All operations are
+    domain-safe; the lookup/hit counters let tests assert that a sweep
+    creates exactly one entry per distinct key and hits on every other
+    lookup.  Sharing a cache entry never changes a computed value, so
+    cached sweeps remain bit-identical to uncached ones. *)
+module Cache : sig
+  type workload := t
+  type t
+
+  val create : unit -> t
+
+  val model : t -> key:string -> (unit -> Model.t) -> Model.t
+  (** Memoized model construction: builds on first use of [key], returns
+      the cached model afterwards. *)
+
+  val workload : t -> key:string -> Model.t -> service_rate:float -> workload
+  (** The shared memoizing workload for [(key, service_rate)]; built with
+      [create ~memoize:true] on first use. *)
+
+  val lookups : t -> int
+  (** Total [model] + [workload] calls so far. *)
+
+  val hits : t -> int
+  (** Lookups answered from the cache ([lookups - hits] is the number of
+      entries ever built). *)
+
+  val entries : t -> int
+  (** Distinct models plus distinct workloads currently cached. *)
+end

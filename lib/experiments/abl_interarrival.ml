@@ -51,18 +51,27 @@ let run ctx fmt =
           ~alpha ~cutoff:Float.infinity );
     ]
   in
+  (* Models are built once per law up front; the grid of solves (one row
+     per law, one column per buffer) runs on the pool, each law's cells
+     sharing one memoizing workload through the cache. *)
+  let models =
+    Array.of_list
+      (List.map
+         (fun (name, law) ->
+           (name, Lrd_core.Model.create ~marginal ~interarrival:law))
+         laws)
+  in
+  let cache = Lrd_core.Workload.Cache.create () in
+  let rows =
+    Sweep.psurface ?pool:(Data.pool ctx) ~xs:buffers ~ys:models
+      ~f:(fun buffer_seconds (name, model) ->
+        (Lrd_core.Solver.solve_utilization ~params ~cache:(cache, name) model
+           ~utilization:Data.mtv_utilization ~buffer_seconds)
+          .Lrd_core.Solver.loss)
+      ()
+  in
   let columns =
-    List.map
-      (fun (name, law) ->
-        let model = Lrd_core.Model.create ~marginal ~interarrival:law in
-        ( name,
-          Array.map
-            (fun buffer_seconds ->
-              (Lrd_core.Solver.solve_utilization ~params model
-                 ~utilization:Data.mtv_utilization ~buffer_seconds)
-                .Lrd_core.Solver.loss)
-            buffers ))
-      laws
+    List.mapi (fun i (name, _) -> (name, rows.(i))) laws
   in
   Table.print_multi_series fmt ~title ~xlabel:"buffer_s" ~ylabel:"loss rate"
     ~xs:buffers columns;

@@ -37,7 +37,9 @@ let run ctx fmt =
   let c = Lrd_trace.Trace.service_rate_for_utilization trace ~utilization in
   let buffers = Sweep.buffers ~quick:(Data.quick ctx) () in
   let losses t =
-    Array.map
+    (* The traces above are generated sequentially from the shared rng;
+       only the (deterministic) queue runs are spread over the pool. *)
+    Sweep.map ?pool:(Data.pool ctx)
       (fun buffer_seconds ->
         let sim =
           Lrd_fluidsim.Queue_sim.make ~service_rate:c

@@ -27,16 +27,23 @@ let run ctx fmt =
   let blocks =
     if Data.quick ctx then [| 8; 64; 512 |] else [| 4; 16; 64; 256; 1024; 4096 |]
   in
+  (* Each shuffle draws from its own index-derived stream (external
+     shuffles take indices 0..n-1, internal ones n..2n-1), so the grid
+     is the same sequentially and on the pool. *)
+  let n = Array.length blocks in
+  let indexed = Array.mapi (fun i b -> (i, b)) blocks in
   let external_losses =
-    Array.map
-      (fun b ->
+    Sweep.map ?pool:(Data.pool ctx)
+      (fun (i, b) ->
+        let rng = Lrd_rng.Rng.split_indexed rng ~index:i in
         loss (Lrd_trace.Shuffle.external_shuffle rng trace ~block:b))
-      blocks
+      indexed
   and internal_losses =
-    Array.map
-      (fun b ->
+    Sweep.map ?pool:(Data.pool ctx)
+      (fun (i, b) ->
+        let rng = Lrd_rng.Rng.split_indexed rng ~index:(n + i) in
         loss (Lrd_trace.Shuffle.internal_shuffle rng trace ~block:b))
-      blocks
+      indexed
   in
   Table.print_multi_series fmt ~title ~xlabel:"block" ~ylabel:"loss rate"
     ~xs:(Array.map float_of_int blocks)

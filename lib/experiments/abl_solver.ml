@@ -1,7 +1,9 @@
 (* Ablation: solver engineering choices.  (a) warm restart across grid
    refinements (paper footnote 3) vs cold restart; (b) FFT vs direct
    convolution.  Both variants must agree on the loss value; the
-   interesting output is the iteration count / wall time. *)
+   interesting output is the iteration count / wall time — which is why
+   this ablation deliberately ignores the context's domain pool: the
+   per-variant timings would be polluted by contending domains. *)
 
 let id = "abl-solver"
 let title = "Ablation: solver warm restart and convolution strategy"

@@ -1,6 +1,13 @@
 type t = {
   quick : bool;
   seed : int64;
+  jobs : int;
+  pool : Lrd_parallel.Pool.t option;
+  lock : Mutex.t;
+      (* [Lazy.force] is not domain-safe (a second forcer raises
+         [Lazy.Undefined]), so every lazy below is forced under this
+         lock.  Cell functions running on the pool may therefore share
+         the context as long as they only read through the accessors. *)
   mtv : Lrd_trace.Trace.t Lazy.t;
   bellcore : Lrd_trace.Trace.t Lazy.t;
   mtv_marginal : Lrd_dist.Marginal.t Lazy.t;
@@ -14,7 +21,19 @@ let bc_hurst = 0.9
 let mtv_utilization = 0.8
 let bc_utilization = 0.4
 
-let create ?(seed = 20260705L) ~quick () =
+let pool_of_jobs jobs =
+  match jobs with
+  | None -> None
+  | Some j ->
+      if j < 0 then
+        invalid_arg
+          (Printf.sprintf "Data.create: jobs must be nonnegative, got %d" j)
+      else if j = 0 then Some (Lrd_parallel.Pool.create ())
+      else if j = 1 then None
+      else Some (Lrd_parallel.Pool.create ~workers:(j - 1) ())
+
+let create ?(seed = 20260705L) ?jobs ~quick () =
+  let pool = pool_of_jobs jobs in
   let rng = Lrd_rng.Rng.create ~seed in
   let mtv_rng = Lrd_rng.Rng.split rng in
   let bc_rng = Lrd_rng.Rng.split rng in
@@ -37,6 +56,9 @@ let create ?(seed = 20260705L) ~quick () =
   {
     quick;
     seed;
+    jobs = (match pool with None -> 1 | Some p -> Lrd_parallel.Pool.parallelism p);
+    pool;
+    lock = Mutex.create ();
     mtv;
     bellcore;
     mtv_marginal = marginal mtv;
@@ -47,12 +69,19 @@ let create ?(seed = 20260705L) ~quick () =
 
 let quick t = t.quick
 let seed t = t.seed
-let mtv t = Lazy.force t.mtv
-let bellcore t = Lazy.force t.bellcore
-let mtv_marginal t = Lazy.force t.mtv_marginal
-let bc_marginal t = Lazy.force t.bc_marginal
-let mtv_mean_epoch t = Lazy.force t.mtv_mean_epoch
-let bc_mean_epoch t = Lazy.force t.bc_mean_epoch
+let jobs t = t.jobs
+let pool t = t.pool
+
+let teardown t =
+  match t.pool with None -> () | Some p -> Lrd_parallel.Pool.shutdown p
+
+let force t l = Mutex.protect t.lock (fun () -> Lazy.force l)
+let mtv t = force t t.mtv
+let bellcore t = force t t.bellcore
+let mtv_marginal t = force t t.mtv_marginal
+let bc_marginal t = force t t.bc_marginal
+let mtv_mean_epoch t = force t t.mtv_mean_epoch
+let bc_mean_epoch t = force t t.bc_mean_epoch
 
 let theta_for ~mean_epoch ~hurst =
   Lrd_dist.Interarrival.theta_for_mean_epoch ~mean_epoch

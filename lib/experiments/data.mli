@@ -1,18 +1,42 @@
 (** Shared experimental ingredients: the two synthetic traces, their
-    extracted marginals, epoch statistics and fitted models.
+    extracted marginals, epoch statistics and fitted models — plus the
+    optional domain pool the figure runners sweep their grids on.
 
     Everything is generated deterministically from a seed and computed
-    lazily, so the figures can share one context without recomputation.
-    [quick] mode shrinks the traces (and downstream grids) for tests and
-    smoke runs; the full mode matches the paper's trace sizes. *)
+    lazily, so the figures can share one context without recomputation;
+    the lazies are forced under a mutex, making the accessors safe to
+    call from pool workers.  [quick] mode shrinks the traces (and
+    downstream grids) for tests and smoke runs; the full mode matches
+    the paper's trace sizes.  The results of every figure are
+    independent of [jobs] — the pool only changes which domain computes
+    each grid cell, never the cell's value. *)
 
 type t
 
-val create : ?seed:int64 -> quick:bool -> unit -> t
-(** Default seed 20260705. *)
+val create : ?seed:int64 -> ?jobs:int -> quick:bool -> unit -> t
+(** Default seed 20260705.  [jobs] sets the total parallelism of the
+    sweeps run from this context: omitted or [1] means sequential (no
+    pool), [0] means auto-size to the machine
+    ([Domain.recommended_domain_count]), and [j >= 2] runs grids on a
+    pool of [j - 1] worker domains plus the calling domain.  Call
+    {!teardown} when done with a context whose [jobs <> 1].
+    @raise Invalid_argument when [jobs] is negative. *)
 
 val quick : t -> bool
 val seed : t -> int64
+
+val jobs : t -> int
+(** Effective parallelism: 1 when sequential, otherwise the pool's
+    worker count + 1. *)
+
+val pool : t -> Lrd_parallel.Pool.t option
+(** The context's domain pool, if any; figure runners pass this to
+    {!Sweep.surface} and friends. *)
+
+val teardown : t -> unit
+(** Shuts down the pool's worker domains (idempotent; no-op for
+    sequential contexts).  The context remains usable for sequential
+    work afterwards. *)
 
 val mtv : t -> Lrd_trace.Trace.t
 (** Synthetic MTV-like video trace (full: 107 892 frames at 1/30 s). *)

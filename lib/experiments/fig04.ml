@@ -12,12 +12,21 @@ let surface ctx ~model_of ~utilization =
   let buffers = Sweep.buffers ~quick () in
   let cutoffs = Sweep.cutoffs ~quick () in
   let params = Data.solver_params ctx in
+  (* One model + memoizing workload per cutoff column, shared across the
+     buffer rows (and across domains when a pool is set). *)
+  let cache = Lrd_core.Workload.Cache.create () in
   let cells =
-    Sweep.surface ~xs:cutoffs ~ys:buffers ~f:(fun ~x:cutoff ~y:buffer ->
-        let model = model_of ~cutoff in
-        (Lrd_core.Solver.solve_utilization ~params model ~utilization
-           ~buffer_seconds:buffer)
+    Sweep.surface ?pool:(Data.pool ctx) ~xs:cutoffs ~ys:buffers
+      ~f:(fun ~x:cutoff ~y:buffer ->
+        let key = Sweep.cell_key cutoff in
+        let model =
+          Lrd_core.Workload.Cache.model cache ~key (fun () ->
+              model_of ~cutoff)
+        in
+        (Lrd_core.Solver.solve_utilization ~params ~cache:(cache, key) model
+           ~utilization ~buffer_seconds:buffer)
           .Lrd_core.Solver.loss)
+      ()
   in
   {
     Table.title;

@@ -19,29 +19,30 @@ let surface ctx ~trace ~utilization ~title =
   let rng = Lrd_rng.Rng.create ~seed:(Int64.add (Data.seed ctx) 7L) in
   (* One shuffle per cutoff, reused across every buffer size (columns of
      the surface), exactly as a single shuffled trace would be in the
-     paper's simulations. *)
+     paper's simulations.  Each column shuffles with its own stream
+     split off by column index, so the shuffle is the same whether the
+     columns are built sequentially or on the pool. *)
   let columns =
-    Array.map
-      (fun (_, block) ->
+    Sweep.map ?pool:(Data.pool ctx)
+      (fun (i, block) ->
         match block with
         | None -> trace
-        | Some b -> Lrd_trace.Shuffle.external_shuffle rng trace ~block:b)
-      blocks
+        | Some b ->
+            let rng = Lrd_rng.Rng.split_indexed rng ~index:i in
+            Lrd_trace.Shuffle.external_shuffle rng trace ~block:b)
+      (Array.mapi (fun i (_, block) -> (i, block)) blocks)
   in
   let c = Lrd_trace.Trace.service_rate_for_utilization trace ~utilization in
   let cells =
-    Array.map
-      (fun buffer_seconds ->
-        Array.map
-          (fun shuffled ->
-            let sim =
-              Lrd_fluidsim.Queue_sim.make ~service_rate:c
-                ~buffer:(buffer_seconds *. c) ()
-            in
-            Lrd_fluidsim.Queue_sim.loss_rate
-              (Lrd_fluidsim.Queue_sim.run_trace sim shuffled))
-          columns)
-      buffers
+    Sweep.psurface ?pool:(Data.pool ctx) ~xs:columns ~ys:buffers
+      ~f:(fun shuffled buffer_seconds ->
+        let sim =
+          Lrd_fluidsim.Queue_sim.make ~service_rate:c
+            ~buffer:(buffer_seconds *. c) ()
+        in
+        Lrd_fluidsim.Queue_sim.loss_rate
+          (Lrd_fluidsim.Queue_sim.run_trace sim shuffled))
+      ()
   in
   {
     Table.title;

@@ -19,7 +19,7 @@ let compute ctx =
   let cutoffs = Sweep.cutoffs ~quick () in
   let params = Data.solver_params ctx in
   let series marginal =
-    Array.map
+    Sweep.map ?pool:(Data.pool ctx)
       (fun cutoff ->
         let model = Lrd_core.Model.of_hurst ~marginal ~hurst ~theta ~cutoff in
         (Lrd_core.Solver.solve_utilization ~params model ~utilization

@@ -19,7 +19,10 @@ let surface ctx ~base_marginal ~theta ~utilization ~title
   let hursts = Sweep.hursts ~quick () in
   let params = Data.solver_params ctx in
   let cells =
-    Sweep.surface ~xs ~ys:hursts ~f:(fun ~x ~y:hurst ->
+    (* No cross-cell cache: the model differs along both axes, so no two
+       cells share a workload here. *)
+    Sweep.surface ?pool:(Data.pool ctx) ~xs ~ys:hursts
+      ~f:(fun ~x ~y:hurst ->
         let marginal = transform base_marginal x in
         let model =
           Lrd_core.Model.of_hurst ~marginal ~hurst ~theta
@@ -28,6 +31,7 @@ let surface ctx ~base_marginal ~theta ~utilization ~title
         (Lrd_core.Solver.solve_utilization ~params model ~utilization
            ~buffer_seconds)
           .Lrd_core.Solver.loss)
+      ()
   in
   {
     Table.title;

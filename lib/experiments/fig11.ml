@@ -14,17 +14,14 @@ let title =
 let compute ctx =
   let streams = Sweep.stream_counts ~quick:(Data.quick ctx) () in
   let base = Data.mtv_marginal ctx in
-  (* Superposed marginals are shared across the Hurst rows. *)
+  (* Superposed marginals are shared across the Hurst rows; they are
+     precomputed here so the table is read-only by the time the sweep
+     (possibly on the pool) consults it. *)
   let superposed = Hashtbl.create 8 in
-  let transform _ n =
-    let n = int_of_float n in
-    match Hashtbl.find_opt superposed n with
-    | Some m -> m
-    | None ->
-        let m = Lrd_dist.Marginal.superpose base ~n in
-        Hashtbl.add superposed n m;
-        m
-  in
+  Array.iter
+    (fun n -> Hashtbl.replace superposed n (Lrd_dist.Marginal.superpose base ~n))
+    streams;
+  let transform _ n = Hashtbl.find superposed (int_of_float n) in
   Fig10.surface ctx ~base_marginal:base ~theta:(Data.mtv_theta ctx)
     ~utilization:Data.mtv_utilization ~title ~transform
     ~xs:(Array.map float_of_int streams)

@@ -14,18 +14,25 @@ let surface ctx ~base_marginal ~theta ~hurst ~utilization ~title =
   let buffers = Sweep.buffers ~quick ~max_seconds:5.0 () in
   let scalings = Sweep.scalings ~quick () in
   let params = Data.solver_params ctx in
+  (* The model depends only on the scaling column, so the cache shares
+     one model + memoizing workload per column across the buffer rows. *)
+  let cache = Lrd_core.Workload.Cache.create () in
   let cells =
-    Sweep.surface ~xs:scalings ~ys:buffers ~f:(fun ~x:a ~y:buffer_seconds ->
-        let marginal =
-          Lrd_dist.Marginal.scale ~clamp:true base_marginal ~factor:a
-        in
+    Sweep.surface ?pool:(Data.pool ctx) ~xs:scalings ~ys:buffers
+      ~f:(fun ~x:a ~y:buffer_seconds ->
+        let key = Sweep.cell_key a in
         let model =
-          Lrd_core.Model.of_hurst ~marginal ~hurst ~theta
-            ~cutoff:Float.infinity
+          Lrd_core.Workload.Cache.model cache ~key (fun () ->
+              let marginal =
+                Lrd_dist.Marginal.scale ~clamp:true base_marginal ~factor:a
+              in
+              Lrd_core.Model.of_hurst ~marginal ~hurst ~theta
+                ~cutoff:Float.infinity)
         in
-        (Lrd_core.Solver.solve_utilization ~params model ~utilization
-           ~buffer_seconds)
+        (Lrd_core.Solver.solve_utilization ~params ~cache:(cache, key) model
+           ~utilization ~buffer_seconds)
           .Lrd_core.Solver.loss)
+      ()
   in
   {
     Table.title;

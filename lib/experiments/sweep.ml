@@ -1,4 +1,10 @@
 let buffers ~quick ?(max_seconds = 2.0) () =
+  if not (max_seconds > 0.01) then
+    invalid_arg
+      (Printf.sprintf
+         "Sweep.buffers: max_seconds must exceed 0.01 s (the logspace lower \
+          bound), got %g"
+         max_seconds);
   let points = if quick then 4 else 7 in
   Lrd_numerics.Array_ops.logspace 0.01 max_seconds points
 
@@ -16,8 +22,28 @@ let scalings ~quick () =
 let stream_counts ~quick () =
   if quick then [| 1; 3; 7 |] else [| 1; 2; 3; 5; 7; 10 |]
 
-let surface ~xs ~ys ~f =
-  Array.map (fun y -> Array.map (fun x -> f ~x ~y) xs) ys
+(* All grid evaluation funnels through these three helpers, so a figure
+   routed here runs on the experiment context's domain pool when one is
+   configured and sequentially otherwise.  The cell function must obey
+   the pool's determinism contract (no shared mutable state, randomness
+   only via [Rng.split_indexed] on the cell index): under that contract
+   the parallel grids are bit-identical to the sequential ones, which
+   the tier-1 determinism test enforces. *)
+
+let map ?pool f xs =
+  match pool with
+  | None -> Array.map f xs
+  | Some p -> Lrd_parallel.Pool.map p f xs
+
+let psurface ?pool ~xs ~ys ~f () =
+  match pool with
+  | None -> Array.map (fun y -> Array.map (fun x -> f x y) xs) ys
+  | Some p -> Lrd_parallel.Pool.map2_grid p ~xs ~ys ~f
+
+let surface ?pool ~xs ~ys ~f () =
+  psurface ?pool ~xs ~ys ~f:(fun x y -> f ~x ~y) ()
+
+let cell_key x = Printf.sprintf "%h" x
 
 let shuffled_loss rng trace ~utilization ~buffer_seconds ~block =
   let shuffled =

@@ -1,10 +1,21 @@
-(** Parameter grids and sweep helpers shared by the figure runners. *)
+(** Parameter grids and sweep helpers shared by the figure runners.
+
+    The grid evaluators ([surface], [psurface], [map]) optionally run on
+    a {!Lrd_parallel.Pool}; [?pool:None] (the default) evaluates
+    sequentially in row-major order.  Cell functions must follow the
+    pool's determinism contract — no shared mutable state except
+    domain-safe caches, randomness derived from the cell index via
+    {!Lrd_rng.Rng.split_indexed} — so that pooled evaluation is
+    bit-identical to sequential evaluation. *)
 
 val buffers : quick:bool -> ?max_seconds:float -> unit -> float array
 (** Normalized buffer sizes in seconds, log-spaced from 10 ms up to
     [max_seconds] (default 2 s) — the "up to a few seconds" range the
     paper motivates with contemporary switch buffers.  7 points (4 in
-    quick mode). *)
+    quick mode).
+    @raise Invalid_argument unless [max_seconds > 0.01] (the logspace
+    lower bound; anything at or below it would silently produce a
+    degenerate, non-increasing grid). *)
 
 val cutoffs : quick:bool -> unit -> float array
 (** Cutoff lags in seconds, log-spaced from 100 ms to 100 s plus
@@ -19,12 +30,36 @@ val scalings : quick:bool -> unit -> float array
 val stream_counts : quick:bool -> unit -> int array
 (** Numbers of superposed streams, 1 .. 10. *)
 
+val map :
+  ?pool:Lrd_parallel.Pool.t -> ('a -> 'b) -> 'a array -> 'b array
+(** [Array.map], optionally spread across the pool; results are in index
+    order either way. *)
+
 val surface :
+  ?pool:Lrd_parallel.Pool.t ->
   xs:float array ->
   ys:float array ->
   f:(x:float -> y:float -> float) ->
+  unit ->
   float array array
 (** [cells.(row).(col) = f ~x:xs.(col) ~y:ys.(row)]. *)
+
+val psurface :
+  ?pool:Lrd_parallel.Pool.t ->
+  xs:'a array ->
+  ys:'b array ->
+  f:('a -> 'b -> 'c) ->
+  unit ->
+  'c array array
+(** Polymorphic [surface] for grids whose axes are not floats (shuffled
+    traces, interarrival laws, ...): [cells.(row).(col) = f xs.(col)
+    ys.(row)]. *)
+
+val cell_key : float -> string
+(** Hex-exact cache key for a float grid coordinate
+    ([Printf.sprintf "%h"]): injective over distinct coordinates,
+    including infinity, which is what {!Lrd_core.Workload.Cache}
+    requires. *)
 
 val shuffled_loss :
   Lrd_rng.Rng.t ->

@@ -1,0 +1,235 @@
+(* Work-stealing domain pool.  See the .mli for the scheduling and
+   determinism contract.
+
+   Synchronization structure: one mutex guards the pool's job slot and
+   epoch counter; workers sleep on [work] until the epoch advances, the
+   caller sleeps on [finished] until the job's pending-task count drains
+   to zero.  Task completion is counted with an [Atomic] so participants
+   never take the pool mutex on the fast path — only the decrement that
+   reaches zero takes it, to wake the caller without a lost-wakeup race. *)
+
+(* ------------------------------------------------------------------ *)
+(* Per-participant deque of task indices.
+
+   Contiguous index blocks are loaded once at job start; the owner pops
+   from the tail (so it walks its block in order), thieves take from the
+   head (so they grab the work farthest from the owner's cursor).  A
+   plain mutex per deque is enough here: tasks are solver/simulator
+   cells costing milliseconds, so queue operations are nowhere near the
+   contention regime that would justify a lock-free Chase-Lev deque. *)
+
+module Deque = struct
+  type t = {
+    lock : Mutex.t;
+    items : int array;
+    mutable head : int;  (* next index a thief takes *)
+    mutable tail : int;  (* one past the next index the owner takes *)
+  }
+
+  let of_block ~lo ~hi =
+    {
+      lock = Mutex.create ();
+      items = Array.init (hi - lo) (fun i -> lo + i);
+      head = 0;
+      tail = hi - lo;
+    }
+
+  let pop t =
+    Mutex.lock t.lock;
+    let r =
+      if t.tail > t.head then begin
+        t.tail <- t.tail - 1;
+        Some t.items.(t.tail)
+      end
+      else None
+    in
+    Mutex.unlock t.lock;
+    r
+
+  let steal t =
+    Mutex.lock t.lock;
+    let r =
+      if t.tail > t.head then begin
+        let i = t.items.(t.head) in
+        t.head <- t.head + 1;
+        Some i
+      end
+      else None
+    in
+    Mutex.unlock t.lock;
+    r
+end
+
+type job = {
+  run_task : int -> unit;
+  deques : Deque.t array;  (* one per participant *)
+  pending : int Atomic.t;  (* tasks not yet completed *)
+  failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t;  (* workers: a new epoch (job or shutdown) *)
+  finished : Condition.t;  (* caller: pending reached zero *)
+  mutable epoch : int;
+  mutable job : job option;
+  mutable stopping : bool;
+  mutable joined : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let parallelism t = Array.length t.workers + 1
+
+(* Execute one task, routing any exception into the job's failure slot;
+   once a failure is recorded, later tasks are skipped (but still
+   counted) so the caller unblocks quickly.  Returns true iff this call
+   completed the job's last task. *)
+let execute job i =
+  (if Atomic.get job.failure = None then
+     try job.run_task i
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       ignore (Atomic.compare_and_set job.failure None (Some (e, bt))));
+  Atomic.fetch_and_add job.pending (-1) = 1
+
+let drain pool job ~me =
+  let parts = Array.length job.deques in
+  let finished_now = ref false in
+  (* Own block first, then round-robin stealing sweeps. *)
+  let rec own () =
+    match Deque.pop job.deques.(me) with
+    | Some i ->
+        if execute job i then finished_now := true;
+        own ()
+    | None -> steal_sweep ()
+  and steal_sweep () =
+    let progressed = ref false in
+    for k = 1 to parts - 1 do
+      let victim = (me + k) mod parts in
+      match Deque.steal job.deques.(victim) with
+      | Some i ->
+          progressed := true;
+          if execute job i then finished_now := true
+      | None -> ()
+    done;
+    if !progressed then own ()
+  in
+  own ();
+  (* Whoever completed the last task wakes the caller; the broadcast is
+     taken under the pool lock so the caller cannot miss it between its
+     predicate check and its wait. *)
+  if !finished_now then begin
+    Mutex.lock pool.lock;
+    Condition.broadcast pool.finished;
+    Mutex.unlock pool.lock
+  end
+
+let rec worker_loop pool ~me ~last_epoch =
+  Mutex.lock pool.lock;
+  while pool.epoch = last_epoch && not pool.stopping do
+    Condition.wait pool.work pool.lock
+  done;
+  let epoch = pool.epoch and job = pool.job and stopping = pool.stopping in
+  Mutex.unlock pool.lock;
+  if not stopping then begin
+    (match job with Some j -> drain pool j ~me | None -> ());
+    worker_loop pool ~me ~last_epoch:epoch
+  end
+
+let create ?workers () =
+  let workers =
+    match workers with
+    | Some w ->
+        if w < 0 then invalid_arg "Pool.create: workers must be nonnegative";
+        w
+    | None -> max 0 (Domain.recommended_domain_count () - 1)
+  in
+  let pool =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      epoch = 0;
+      job = None;
+      stopping = false;
+      joined = false;
+      workers = [||];
+    }
+  in
+  pool.workers <-
+    Array.init workers (fun me ->
+        Domain.spawn (fun () -> worker_loop pool ~me ~last_epoch:0));
+  pool
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  let join_now = not t.joined in
+  t.joined <- true;
+  Mutex.unlock t.lock;
+  if join_now then Array.iter Domain.join t.workers
+
+let with_pool ?workers f =
+  let pool = create ?workers () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let iter t run_task n =
+  if n < 0 then invalid_arg "Pool.iter: negative task count";
+  if n > 0 then begin
+    let parts = parallelism t in
+    let deques =
+      Array.init parts (fun p ->
+          Deque.of_block ~lo:(p * n / parts) ~hi:((p + 1) * n / parts))
+    in
+    let job =
+      { run_task; deques; pending = Atomic.make n; failure = Atomic.make None }
+    in
+    Mutex.lock t.lock;
+    if t.job <> None then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Pool.iter: pool already running a task set (nested map?)"
+    end;
+    if t.stopping then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Pool.iter: pool has been shut down"
+    end;
+    t.job <- Some job;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    (* The caller is the last participant. *)
+    drain t job ~me:(parts - 1);
+    Mutex.lock t.lock;
+    while Atomic.get job.pending > 0 do
+      Condition.wait t.finished t.lock
+    done;
+    t.job <- None;
+    Mutex.unlock t.lock;
+    match Atomic.get job.failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let map t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    iter t (fun i -> out.(i) <- Some (f xs.(i))) n;
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map2_grid t ~xs ~ys ~f =
+  let nx = Array.length xs and ny = Array.length ys in
+  let n = nx * ny in
+  if n = 0 then Array.map (fun _ -> [||]) ys
+  else begin
+    let out = Array.make n None in
+    iter t (fun k -> out.(k) <- Some (f xs.(k mod nx) ys.(k / nx))) n;
+    Array.init ny (fun iy ->
+        Array.init nx (fun ix ->
+            match out.((iy * nx) + ix) with
+            | Some v -> v
+            | None -> assert false))
+  end

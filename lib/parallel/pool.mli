@@ -1,0 +1,61 @@
+(** A fixed pool of worker domains with a work-stealing scheduler for
+    embarrassingly parallel index-tagged task sets.
+
+    The experiment layer evaluates grids of independent solver / simulator
+    cells; this pool spreads those cells across [Domain.recommended_domain_count
+    () - 1] worker domains (plus the calling domain, which participates) while
+    keeping the results deterministic: every task writes into a pre-sized
+    result slot identified by its index, so the output never depends on the
+    scheduling order.  Only the OCaml standard library is used ([Domain],
+    [Mutex], [Condition], [Atomic]) — no domainslib dependency.
+
+    Scheduling: the task indices are split into contiguous per-participant
+    chunks, each held in a double-ended queue.  A participant pops from the
+    tail of its own deque (preserving chunk locality) and, when empty, steals
+    from the head of the other deques, so an unbalanced grid (e.g. deep-buffer
+    solver cells next to trivial ones) still keeps every domain busy.
+
+    Determinism contract: tasks must not share mutable state except through
+    domain-safe structures, and any randomness must be derived from the task
+    index (see [Lrd_rng.Rng.split_indexed]), never from a generator shared
+    across tasks.  Under that contract, [map pool f xs] is bit-identical to
+    [Array.map f xs] for any pool size.
+
+    A pool whose tasks raise re-raises the first captured exception (with its
+    backtrace) in the caller once the task set has drained; remaining tasks
+    are skipped.  The pool survives the exception and can be reused. *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** Spawns [workers] worker domains (default
+    [Domain.recommended_domain_count () - 1], at least 0).  With 0 workers the
+    pool is still valid: every task runs in the calling domain, in index
+    order.  @raise Invalid_argument if [workers < 0]. *)
+
+val parallelism : t -> int
+(** Number of participating domains: workers plus the calling domain. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f xs] evaluates [f xs.(i)] for every [i] across the pool and
+    returns the results in index order.  Nested use (calling [map] from
+    inside a task of the same pool) raises [Invalid_argument]. *)
+
+val map2_grid :
+  t -> xs:'a array -> ys:'b array -> f:('a -> 'b -> 'c) -> 'c array array
+(** [map2_grid pool ~xs ~ys ~f] returns [cells] with
+    [cells.(iy).(ix) = f xs.(ix) ys.(iy)], evaluating the row-major flattened
+    grid across the pool.  Matches the orientation of
+    [Lrd_experiments.Sweep.surface]. *)
+
+val iter : t -> (int -> unit) -> int -> unit
+(** [iter pool task n] runs [task i] for [i = 0 .. n - 1] across the pool.
+    The primitive behind [map] / [map2_grid], exposed for callers that write
+    into their own pre-sized buffers. *)
+
+val shutdown : t -> unit
+(** Signals the workers to exit and joins their domains.  Idempotent.  The
+    pool must be idle (no [map] in flight). *)
+
+val with_pool : ?workers:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)

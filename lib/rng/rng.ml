@@ -40,6 +40,23 @@ let uint64 t =
 
 let split t = create ~seed:(uint64 t)
 
+(* Derive a child stream from the CURRENT state and a task index without
+   advancing the parent: the four state words and the index are absorbed
+   into a SplitMix64 chain, whose final output seeds the child.  Because
+   the parent is left untouched, the same (state, index) pair always
+   yields the same stream no matter how many siblings were derived
+   before it or in what order — the property parallel sweeps need for
+   scheduling-independent results. *)
+let split_indexed t ~index =
+  if index < 0 then invalid_arg "Rng.split_indexed: index must be nonnegative";
+  let state = ref t.s0 in
+  let absorb x = state := Int64.logxor (splitmix64 state) x in
+  absorb t.s1;
+  absorb t.s2;
+  absorb t.s3;
+  absorb (Int64.of_int index);
+  create ~seed:(splitmix64 state)
+
 let float t =
   (* Top 53 bits scaled to [0, 1). *)
   let bits = Int64.shift_right_logical (uint64 t) 11 in

@@ -15,6 +15,18 @@ val split : t -> t
 (** A new generator whose stream is independent of (and deterministically
     derived from) the current state of [t].  Advances [t]. *)
 
+val split_indexed : t -> index:int -> t
+(** A new generator deterministically derived from the current state of
+    [t] and [index], WITHOUT advancing [t].  Distinct indices give
+    independent streams (the state words and the index are mixed through
+    a SplitMix64 chain).  This is the splitting discipline for parallel
+    sweeps: deriving cell [i]'s stream from the sweep's base generator
+    and the cell index makes each cell's randomness a pure function of
+    [(base state, i)], so results are identical no matter which domain
+    runs the cell, in what order — or whether the sweep runs
+    sequentially.
+    @raise Invalid_argument if [index < 0]. *)
+
 val copy : t -> t
 (** Snapshot of the current state. *)
 

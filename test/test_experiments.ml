@@ -357,6 +357,7 @@ let test_sweep_surface_layout () =
   let cells =
     Sweep.surface ~xs:[| 1.0; 2.0; 3.0 |] ~ys:[| 10.0; 20.0 |]
       ~f:(fun ~x ~y -> x +. y)
+      ()
   in
   Alcotest.(check int) "rows" 2 (Array.length cells);
   Alcotest.(check int) "cols" 3 (Array.length cells.(0));

@@ -1,0 +1,286 @@
+(* The domain pool's scheduling/determinism contract, the indexed rng
+   splitting it relies on, and the cross-cell workload cache: parallel
+   sweeps must be byte-identical to sequential ones, and caching /
+   memoization must never change a computed value. *)
+
+open Lrd_parallel
+
+let render f =
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  f fmt;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Pool mechanics *)
+
+let worker_counts = [ 0; 1; 2; 3 ]
+
+let test_map_matches_sequential () =
+  let xs = Array.init 97 (fun i -> i) in
+  let expected = Array.map (fun i -> i * i) xs in
+  List.iter
+    (fun workers ->
+      Pool.with_pool ~workers (fun pool ->
+          let got = Pool.map pool (fun i -> i * i) xs in
+          Alcotest.(check (array int))
+            (Printf.sprintf "map, %d workers" workers)
+            expected got))
+    worker_counts
+
+let test_map_empty () =
+  Pool.with_pool ~workers:2 (fun pool ->
+      Alcotest.(check (array int))
+        "empty input" [||]
+        (Pool.map pool (fun i -> i) [||]))
+
+let test_map2_grid_orientation () =
+  let xs = [| "a"; "b"; "c" |] and ys = [| 1; 2 |] in
+  let f x y = Printf.sprintf "%s%d" x y in
+  let expected = Array.map (fun y -> Array.map (fun x -> f x y) xs) ys in
+  List.iter
+    (fun workers ->
+      Pool.with_pool ~workers (fun pool ->
+          let got = Pool.map2_grid pool ~xs ~ys ~f in
+          Alcotest.(check (array (array string)))
+            (Printf.sprintf "grid, %d workers" workers)
+            expected got))
+    worker_counts
+
+exception Boom of int
+
+let test_exception_propagates_and_pool_survives () =
+  Pool.with_pool ~workers:2 (fun pool ->
+      (try
+         ignore
+           (Pool.map pool
+              (fun i -> if i = 13 then raise (Boom i) else i)
+              (Array.init 64 (fun i -> i)));
+         Alcotest.fail "expected Boom"
+       with Boom 13 -> ());
+      (* The same pool keeps working after a failed task set. *)
+      let xs = Array.init 32 (fun i -> i) in
+      Alcotest.(check (array int))
+        "pool reusable after exception"
+        (Array.map (fun i -> i + 1) xs)
+        (Pool.map pool (fun i -> i + 1) xs))
+
+let test_shutdown_idempotent_and_final () =
+  let pool = Pool.create ~workers:1 () in
+  Alcotest.(check int) "parallelism" 2 (Pool.parallelism pool);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Pool.iter: pool has been shut down") (fun () ->
+      ignore (Pool.map pool (fun i -> i) [| 1 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Indexed rng splitting *)
+
+let test_split_indexed () =
+  let base () = Lrd_rng.Rng.create ~seed:42L in
+  let draws rng = Array.init 8 (fun _ -> Lrd_rng.Rng.uint64 rng) in
+  (* Same index from the same state: the same stream. *)
+  let a = draws (Lrd_rng.Rng.split_indexed (base ()) ~index:3)
+  and b = draws (Lrd_rng.Rng.split_indexed (base ()) ~index:3) in
+  Alcotest.(check bool) "same index, same stream" true (a = b);
+  (* Distinct indices: distinct streams. *)
+  let c = draws (Lrd_rng.Rng.split_indexed (base ()) ~index:4) in
+  Alcotest.(check bool) "distinct index, distinct stream" false (a = c);
+  (* Splitting does not advance the parent: the order of splits and
+     draws cannot matter, or parallel cells would see different
+     streams than sequential ones. *)
+  let r1 = base () in
+  let direct = draws r1 in
+  let r2 = base () in
+  for i = 0 to 9 do
+    ignore (Lrd_rng.Rng.split_indexed r2 ~index:i)
+  done;
+  Alcotest.(check bool)
+    "split_indexed leaves the parent untouched" true
+    (direct = draws r2);
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.split_indexed: index must be nonnegative")
+    (fun () -> ignore (Lrd_rng.Rng.split_indexed (base ()) ~index:(-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Sweep grid validation *)
+
+let test_buffers_validation () =
+  (try
+     ignore (Lrd_experiments.Sweep.buffers ~quick:true ~max_seconds:0.005 ());
+     Alcotest.fail "expected Invalid_argument for max_seconds = 0.005"
+   with Invalid_argument msg ->
+     Alcotest.(check bool)
+       "message names the bound" true
+       (String.length msg > 0 && msg.[0] = 'S' (* "Sweep.buffers: ..." *)));
+  (try
+     ignore (Lrd_experiments.Sweep.buffers ~quick:true ~max_seconds:0.01 ());
+     Alcotest.fail "expected Invalid_argument for max_seconds = 0.01"
+   with Invalid_argument _ -> ());
+  let bs = Lrd_experiments.Sweep.buffers ~quick:true ~max_seconds:0.5 () in
+  Alcotest.(check int) "valid grid size" 4 (Array.length bs)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end determinism: the fig4 quick table rendered from contexts
+   of parallelism 1, 2 and recommended_domain_count must be
+   byte-identical (the figure's cells go through the solver, the
+   workload cache and the pool all at once). *)
+
+let fig4_table ~jobs =
+  let ctx = Lrd_experiments.Data.create ~jobs ~quick:true () in
+  Fun.protect
+    ~finally:(fun () -> Lrd_experiments.Data.teardown ctx)
+    (fun () ->
+      render (fun fmt ->
+          Lrd_experiments.Table.print_surface fmt
+            (Lrd_experiments.Fig04.compute ctx)))
+
+let test_fig4_deterministic_across_pools () =
+  let sequential = fig4_table ~jobs:1 in
+  Alcotest.(check bool) "non-empty" true (String.length sequential > 0);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "fig4 at jobs=%d" jobs)
+        sequential (fig4_table ~jobs))
+    [ 2; max 2 (Domain.recommended_domain_count ()) ]
+
+let test_fig7_deterministic_across_pools () =
+  (* fig7 exercises the per-column rng splitting (simulation path). *)
+  let table ~jobs =
+    let ctx = Lrd_experiments.Data.create ~jobs ~quick:true () in
+    Fun.protect
+      ~finally:(fun () -> Lrd_experiments.Data.teardown ctx)
+      (fun () ->
+        render (fun fmt ->
+            Lrd_experiments.Table.print_surface fmt
+              (Lrd_experiments.Fig07.compute ctx)))
+  in
+  Alcotest.(check string) "fig7 at jobs=2" (table ~jobs:1) (table ~jobs:2)
+
+(* ------------------------------------------------------------------ *)
+(* Workload cache: exactly one model + one workload entry per distinct
+   key, every other lookup a hit, and cached solves bitwise-equal to
+   uncached ones. *)
+
+let test_cache_counters_and_values () =
+  let marginal =
+    Lrd_dist.Marginal.of_points [ (0.0, 0.25); (1.0, 0.5); (3.0, 0.25) ]
+  in
+  let model_of ~cutoff =
+    Lrd_core.Model.of_hurst ~marginal ~hurst:0.8 ~theta:0.05 ~cutoff
+  in
+  let cutoffs = [| 0.5; 5.0; Float.infinity |] in
+  let buffers = [| 0.05; 0.2; 0.8 |] in
+  let cache = Lrd_core.Workload.Cache.create () in
+  let cached =
+    Array.map
+      (fun buffer_seconds ->
+        Array.map
+          (fun cutoff ->
+            let key = Lrd_experiments.Sweep.cell_key cutoff in
+            let model =
+              Lrd_core.Workload.Cache.model cache ~key (fun () ->
+                  model_of ~cutoff)
+            in
+            (Lrd_core.Solver.solve_utilization ~cache:(cache, key) model
+               ~utilization:0.8 ~buffer_seconds)
+              .Lrd_core.Solver.loss)
+          cutoffs)
+      buffers
+  in
+  let cells = Array.length cutoffs * Array.length buffers in
+  (* Each cell performs one model lookup and one workload lookup; only
+     the first lookup of each distinct key builds an entry. *)
+  Alcotest.(check int)
+    "lookups" (2 * cells)
+    (Lrd_core.Workload.Cache.lookups cache);
+  Alcotest.(check int)
+    "entries" (2 * Array.length cutoffs)
+    (Lrd_core.Workload.Cache.entries cache);
+  Alcotest.(check int)
+    "hits"
+    ((2 * cells) - 2 * Array.length cutoffs)
+    (Lrd_core.Workload.Cache.hits cache);
+  let uncached =
+    Array.map
+      (fun buffer_seconds ->
+        Array.map
+          (fun cutoff ->
+            (Lrd_core.Solver.solve_utilization (model_of ~cutoff)
+               ~utilization:0.8 ~buffer_seconds)
+              .Lrd_core.Solver.loss)
+          cutoffs)
+      buffers
+  in
+  Alcotest.(check bool) "cached solves bitwise-equal" true (cached = uncached)
+
+let test_memoized_workload_identical () =
+  let marginal =
+    Lrd_dist.Marginal.of_points [ (0.0, 0.5); (2.0, 0.3); (5.0, 0.2) ]
+  in
+  let model =
+    Lrd_core.Model.of_hurst ~marginal ~hurst:0.85 ~theta:0.03 ~cutoff:2.0
+  in
+  let plain = Lrd_core.Workload.create model ~service_rate:1.5 in
+  let memo = Lrd_core.Workload.create ~memoize:true model ~service_rate:1.5 in
+  List.iter
+    (fun bins ->
+      let a = Lrd_core.Workload.discretize plain ~buffer:0.7 ~bins in
+      let b = Lrd_core.Workload.discretize memo ~buffer:0.7 ~bins in
+      Alcotest.(check bool)
+        (Printf.sprintf "bins %d identical" bins)
+        true
+        (a.Lrd_core.Workload.lower = b.Lrd_core.Workload.lower
+        && a.Lrd_core.Workload.upper = b.Lrd_core.Workload.upper))
+    [ 16; 32; 64 ];
+  let xs = [| 0.0; 0.1; 0.35; 0.7 |] in
+  Array.iter
+    (fun occupancy ->
+      Alcotest.(check (float 0.0))
+        "expected_overflow identical"
+        (Lrd_core.Workload.expected_overflow plain ~buffer:0.7 ~occupancy)
+        (Lrd_core.Workload.expected_overflow memo ~buffer:0.7 ~occupancy))
+    xs
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches sequential" `Quick
+            test_map_matches_sequential;
+          Alcotest.test_case "map on empty input" `Quick test_map_empty;
+          Alcotest.test_case "map2_grid orientation" `Quick
+            test_map2_grid_orientation;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagates_and_pool_survives;
+          Alcotest.test_case "shutdown" `Quick
+            test_shutdown_idempotent_and_final;
+        ] );
+      ( "rng",
+        [ Alcotest.test_case "split_indexed" `Quick test_split_indexed ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "buffers validation" `Quick
+            test_buffers_validation;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "fig4 across pool sizes" `Slow
+            test_fig4_deterministic_across_pools;
+          Alcotest.test_case "fig7 across pool sizes" `Slow
+            test_fig7_deterministic_across_pools;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "counters and values" `Quick
+            test_cache_counters_and_values;
+          Alcotest.test_case "memoized workload identical" `Quick
+            test_memoized_workload_identical;
+        ] );
+    ]
