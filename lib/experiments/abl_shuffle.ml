@@ -29,22 +29,22 @@ let run ctx fmt =
   in
   (* Each shuffle draws from its own index-derived stream (external
      shuffles take indices 0..n-1, internal ones n..2n-1), so the grid
-     is the same sequentially and on the pool. *)
+     is the same sequentially and on the pool.  Both families run as ONE
+     fused task set: a single pool dispatch keeps every domain busy
+     across the seam instead of draining twice, and the per-task indices
+     are exactly the ones the two separate sweeps used. *)
   let n = Array.length blocks in
-  let indexed = Array.mapi (fun i b -> (i, b)) blocks in
-  let external_losses =
+  let tasks = Array.init (2 * n) (fun i -> (i, blocks.(i mod n))) in
+  let losses =
     Sweep.map ?pool:(Data.pool ctx)
       (fun (i, b) ->
         let rng = Lrd_rng.Rng.split_indexed rng ~index:i in
-        loss (Lrd_trace.Shuffle.external_shuffle rng trace ~block:b))
-      indexed
-  and internal_losses =
-    Sweep.map ?pool:(Data.pool ctx)
-      (fun (i, b) ->
-        let rng = Lrd_rng.Rng.split_indexed rng ~index:(n + i) in
-        loss (Lrd_trace.Shuffle.internal_shuffle rng trace ~block:b))
-      indexed
+        if i < n then loss (Lrd_trace.Shuffle.external_shuffle rng trace ~block:b)
+        else loss (Lrd_trace.Shuffle.internal_shuffle rng trace ~block:b))
+      tasks
   in
+  let external_losses = Array.sub losses 0 n
+  and internal_losses = Array.sub losses n n in
   Table.print_multi_series fmt ~title ~xlabel:"block" ~ylabel:"loss rate"
     ~xs:(Array.map float_of_int blocks)
     [ ("external", external_losses); ("internal", internal_losses) ];

@@ -62,6 +62,29 @@ let fft_product_threshold = 4096
 
 let prefer_fft ~na ~nb = na * nb > fft_product_threshold
 
+(* Crossover for kernels whose transform size is FIXED regardless of how
+   little direct work the call needs — the autocovariance estimator
+   transforms m = next_pow2 (2 n) points whether it wants 1 lag or n.
+   Calibrated from the same measured constant: at the 64x64 break-even
+   behind [fft_product_threshold], [fft_product_threshold] direct
+   multiply-adds match a forward/inverse pair at size 128 (7 bits), so
+   one transform point-bit costs threshold / (2 * 128 * 7) of them. *)
+let prefer_fft_fixed ~transform_size ~direct_ops =
+  if not (Fft.is_power_of_two transform_size) then
+    invalid_arg "Convolution.prefer_fft_fixed: size must be a power of two";
+  let bits =
+    let b = ref 0 and v = ref transform_size in
+    while !v > 1 do
+      incr b;
+      v := !v lsr 1
+    done;
+    !b
+  in
+  let transform_point_bits = float_of_int (2 * transform_size * bits) in
+  float_of_int direct_ops
+  > float_of_int fft_product_threshold /. (2.0 *. 128.0 *. 7.0)
+    *. transform_point_bits
+
 let auto a b =
   let na = Array.length a and nb = Array.length b in
   if na = 0 || nb = 0 then [||]

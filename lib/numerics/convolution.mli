@@ -28,6 +28,15 @@ val prefer_fft : na:int -> nb:int -> bool
     solver's grid-level construction: true when the length product
     [na * nb] is large enough for the FFT to win. *)
 
+val prefer_fft_fixed : transform_size:int -> direct_ops:int -> bool
+(** Crossover for computations whose FFT cost is fixed by
+    [transform_size] (a forward/inverse pair at that power-of-two size)
+    while the direct path costs [direct_ops] multiply-adds — e.g. the
+    autocovariance estimator, whose transform size [next_pow2 (2 n)]
+    does not shrink with [max_lag].  Derived from the same centralized
+    {!fft_product_threshold} calibration as {!prefer_fft}.
+    @raise Invalid_argument unless [transform_size] is a power of two. *)
+
 val auto : float array -> float array -> float array
 (** Picks {!direct} or {!fft} using {!prefer_fft}. *)
 

@@ -1,0 +1,22 @@
+(* Per-domain memo tables via [Domain.DLS]: the DLS key yields this
+   domain's private hashtable, so lookup and insertion need no
+   synchronization at all.  Workspaces never migrate between domains. *)
+
+type ('k, 'v) t = {
+  tables : ('k, 'v) Hashtbl.t Domain.DLS.key;
+  build : 'k -> 'v;
+}
+
+let create build =
+  { tables = Domain.DLS.new_key (fun () -> Hashtbl.create 8); build }
+
+let get t key =
+  let table = Domain.DLS.get t.tables in
+  match Hashtbl.find_opt table key with
+  | Some v -> v
+  | None ->
+      let v = t.build key in
+      Hashtbl.add table key v;
+      v
+
+let size t = Hashtbl.length (Domain.DLS.get t.tables)

@@ -4,15 +4,18 @@ type estimate = {
   segments : int;
 }
 
-let raw_periodogram data =
+(* The caller supplies the transform and scratch of length [size], so
+   the planned workspace and the one-shot path run the identical float
+   operations (bit-identical results). *)
+let raw_periodogram_core ~forward ~re ~im ~size data =
   let n = Array.length data in
   let mean = Lrd_numerics.Array_ops.mean data in
-  let size = Lrd_numerics.Fft.next_power_of_two n in
-  let re = Array.make size 0.0 and im = Array.make size 0.0 in
   for i = 0 to n - 1 do
     re.(i) <- data.(i) -. mean
   done;
-  Lrd_numerics.Fft.forward ~re ~im;
+  Array.fill re n (size - n) 0.0;
+  Array.fill im 0 size 0.0;
+  forward ~re ~im;
   let norm = 2.0 *. Float.pi *. float_of_int n in
   ( Array.init (size / 2) (fun j ->
         2.0 *. Float.pi *. float_of_int (j + 1) /. float_of_int size),
@@ -20,11 +23,49 @@ let raw_periodogram data =
         let k = j + 1 in
         ((re.(k) *. re.(k)) +. (im.(k) *. im.(k))) /. norm) )
 
+let raw_periodogram data =
+  let size = Lrd_numerics.Fft.next_power_of_two (Array.length data) in
+  let re = Array.make size 0.0 and im = Array.make size 0.0 in
+  raw_periodogram_core ~forward:Lrd_numerics.Fft.forward ~re ~im ~size data
+
 let periodogram data =
   if Array.length data < 8 then
     invalid_arg "Spectral.periodogram: series too short";
   let frequencies, power = raw_periodogram data in
   { frequencies; power; segments = 1 }
+
+module Workspace = struct
+  type t = {
+    size : int;
+    plan : Lrd_numerics.Fft.plan;
+    re : float array;
+    im : float array;
+  }
+
+  let make ~n =
+    if n < 8 then invalid_arg "Spectral.Workspace.make: n must be at least 8";
+    let size = Lrd_numerics.Fft.next_power_of_two n in
+    {
+      size;
+      plan = Lrd_numerics.Fft.make_plan size;
+      re = Array.make size 0.0;
+      im = Array.make size 0.0;
+    }
+
+  let size t = t.size
+
+  let periodogram t data =
+    if Array.length data < 8 then
+      invalid_arg "Spectral.periodogram: series too short";
+    if Lrd_numerics.Fft.next_power_of_two (Array.length data) <> t.size then
+      invalid_arg "Spectral.Workspace: series does not match the workspace size";
+    let frequencies, power =
+      raw_periodogram_core
+        ~forward:(Lrd_numerics.Fft.forward_ip t.plan)
+        ~re:t.re ~im:t.im ~size:t.size data
+    in
+    { frequencies; power; segments = 1 }
+end
 
 let welch ?segment ?(overlap = 0.5) data =
   let n = Array.length data in

@@ -1,0 +1,82 @@
+(* Planned Davies-Harte synthesis.  The spectral draw writes
+
+     a_0      = sqrt (lambda_0 / m)        g
+     a_{m/2}  = sqrt (lambda_{m/2} / m)    g
+     a_k      = sqrt (lambda_k / 2m) (g1 + i g2),   a_{m-k} = conj a_k
+
+   and one forward transform of [a] yields [n] exact samples in its real
+   part.  Everything left of the Gaussians is draw-independent and lives
+   in the plan; the scale table stores the already-rooted factors, the
+   same float expressions the one-shot generators evaluated per call, so
+   planned draws stay bit-identical to them. *)
+
+type t = {
+  n : int;
+  m : int;
+  half : int;
+  fft : Lrd_numerics.Fft.plan;
+  scale : float array;  (* length half + 1: rooted eigenvalue factors *)
+  are : float array;  (* spectral scratch, length m *)
+  aim : float array;
+}
+
+let embedding_half ~n =
+  if n <= 0 then invalid_arg "Circulant.embedding_half: n must be positive";
+  Lrd_numerics.Fft.next_power_of_two (2 * n) / 2
+
+let make ~name ~acv ~tol ~n =
+  if n <= 0 then invalid_arg "Circulant.make: n must be positive";
+  let m = Lrd_numerics.Fft.next_power_of_two (2 * n) in
+  let half = m / 2 in
+  let fft = Lrd_numerics.Fft.make_plan m in
+  (* First row of the circulant embedding of the covariance matrix. *)
+  let c_re = Array.make m 0.0 and c_im = Array.make m 0.0 in
+  for k = 0 to m - 1 do
+    let lag = if k <= half then k else m - k in
+    c_re.(k) <- acv lag
+  done;
+  Lrd_numerics.Fft.forward_ip fft ~re:c_re ~im:c_im;
+  (* Eigenvalues of the circulant; nonnegative up to rounding for the
+     processes used here.  The embedding is real-even, so bins above
+     [half] mirror those below, but they are checked too: the mirror is
+     only exact up to FFT rounding and the one-shot path checked all. *)
+  Array.iter
+    (fun v ->
+      if v < -.tol then
+        invalid_arg (name ^ ": embedding not nonnegative definite"))
+    c_re;
+  let eigen k = Float.max c_re.(k) 0.0 in
+  let fm = float_of_int m in
+  let scale =
+    Array.init (half + 1) (fun k ->
+        if k = 0 || k = half then sqrt (eigen k /. fm)
+        else sqrt (eigen k /. (2.0 *. fm)))
+  in
+  { n; m; half; fft; scale; are = Array.make m 0.0; aim = Array.make m 0.0 }
+
+let length t = t.n
+
+let draw t rng ~dst =
+  if Array.length dst < t.n then invalid_arg "Circulant.draw: dst too short";
+  let are = t.are and aim = t.aim and scale = t.scale in
+  let m = t.m and half = t.half in
+  let gaussian () = Lrd_rng.Sampler.normal rng ~mean:0.0 ~std:1.0 in
+  are.(0) <- scale.(0) *. gaussian ();
+  aim.(0) <- 0.0;
+  are.(half) <- scale.(half) *. gaussian ();
+  aim.(half) <- 0.0;
+  for k = 1 to half - 1 do
+    let s = Array.unsafe_get scale k in
+    let g1 = gaussian () and g2 = gaussian () in
+    Array.unsafe_set are k (s *. g1);
+    Array.unsafe_set aim k (s *. g2);
+    Array.unsafe_set are (m - k) (s *. g1);
+    Array.unsafe_set aim (m - k) (-.(s *. g2))
+  done;
+  Lrd_numerics.Fft.forward_ip t.fft ~re:are ~im:aim;
+  Array.blit are 0 dst 0 t.n
+
+let generate t rng =
+  let dst = Array.make t.n 0.0 in
+  draw t rng ~dst;
+  dst

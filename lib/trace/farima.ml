@@ -24,45 +24,34 @@ let variance ~d =
     (Lrd_numerics.Special.log_gamma (1.0 -. (2.0 *. d))
     -. (2.0 *. Lrd_numerics.Special.log_gamma (1.0 -. d)))
 
+module Plan = struct
+  type t = Circulant.t
+
+  let make ~d ~n =
+    check_d d;
+    if n <= 0 then invalid_arg "Farima.generate: n must be positive";
+    let sigma2 = variance ~d in
+    let half = Circulant.embedding_half ~n in
+    (* Autocovariance by the stable ratio recurrence, filled out to the
+       circulant embedding. *)
+    let acv = Array.make (half + 1) sigma2 in
+    for k = 1 to half do
+      acv.(k) <-
+        acv.(k - 1) *. (float_of_int k -. 1.0 +. d) /. (float_of_int k -. d)
+    done;
+    Circulant.make ~name:"Farima.generate"
+      ~acv:(fun k -> acv.(k))
+      ~tol:(1e-8 *. sigma2) ~n
+
+  let length = Circulant.length
+  let draw = Circulant.draw
+  let generate = Circulant.generate
+end
+
+let domain_plans = Lrd_parallel.Arena.create (fun (d, n) -> Plan.make ~d ~n)
+let domain_plan ~d ~n = Lrd_parallel.Arena.get domain_plans (d, n)
+
 let generate rng ~d ~n =
   check_d d;
   if n <= 0 then invalid_arg "Farima.generate: n must be positive";
-  let sigma2 = variance ~d in
-  let m = Lrd_numerics.Fft.next_power_of_two (2 * n) in
-  let half = m / 2 in
-  (* Autocovariance by the stable ratio recurrence, filled out to the
-     circulant embedding. *)
-  let acv = Array.make (half + 1) sigma2 in
-  for k = 1 to half do
-    acv.(k) <-
-      acv.(k - 1) *. (float_of_int k -. 1.0 +. d) /. (float_of_int k -. d)
-  done;
-  let c_re = Array.make m 0.0 and c_im = Array.make m 0.0 in
-  for k = 0 to m - 1 do
-    let lag = if k <= half then k else m - k in
-    c_re.(k) <- acv.(lag)
-  done;
-  Lrd_numerics.Fft.forward ~re:c_re ~im:c_im;
-  let eigen =
-    Array.map
-      (fun v ->
-        if v < -1e-8 *. sigma2 then
-          invalid_arg "Farima.generate: embedding not nonnegative definite"
-        else Float.max v 0.0)
-      c_re
-  in
-  let a_re = Array.make m 0.0 and a_im = Array.make m 0.0 in
-  let fm = float_of_int m in
-  let gaussian () = Lrd_rng.Sampler.normal rng ~mean:0.0 ~std:1.0 in
-  a_re.(0) <- sqrt (eigen.(0) /. fm) *. gaussian ();
-  a_re.(half) <- sqrt (eigen.(half) /. fm) *. gaussian ();
-  for k = 1 to half - 1 do
-    let scale = sqrt (eigen.(k) /. (2.0 *. fm)) in
-    let g1 = gaussian () and g2 = gaussian () in
-    a_re.(k) <- scale *. g1;
-    a_im.(k) <- scale *. g2;
-    a_re.(m - k) <- scale *. g1;
-    a_im.(m - k) <- -.(scale *. g2)
-  done;
-  Lrd_numerics.Fft.forward ~re:a_re ~im:a_im;
-  Array.sub a_re 0 n
+  Plan.generate (domain_plan ~d ~n) rng

@@ -8,42 +8,30 @@ let autocovariance ~hurst k =
   let h2 = 2.0 *. hurst in
   0.5 *. (((k +. 1.0) ** h2) -. (2.0 *. (k ** h2)) +. (Float.abs (k -. 1.0) ** h2))
 
-let davies_harte rng ~hurst ~n =
-  check_hurst hurst;
-  if n <= 0 then invalid_arg "Fgn.davies_harte: n must be positive";
-  let m = Lrd_numerics.Fft.next_power_of_two (2 * n) in
-  let half = m / 2 in
-  (* First row of the circulant embedding of the covariance matrix. *)
-  let c_re = Array.make m 0.0 and c_im = Array.make m 0.0 in
-  for k = 0 to m - 1 do
-    let lag = if k <= half then k else m - k in
-    c_re.(k) <- autocovariance ~hurst lag
-  done;
-  Lrd_numerics.Fft.forward ~re:c_re ~im:c_im;
-  (* Eigenvalues of the circulant; nonnegative for fGn up to rounding. *)
-  let eigen =
-    Array.map
-      (fun v ->
-        if v < -1e-8 then
-          invalid_arg "Fgn.davies_harte: embedding not nonnegative definite"
-        else Float.max v 0.0)
-      c_re
-  in
-  let a_re = Array.make m 0.0 and a_im = Array.make m 0.0 in
-  let fm = float_of_int m in
-  let gaussian () = Lrd_rng.Sampler.normal rng ~mean:0.0 ~std:1.0 in
-  a_re.(0) <- sqrt (eigen.(0) /. fm) *. gaussian ();
-  a_re.(half) <- sqrt (eigen.(half) /. fm) *. gaussian ();
-  for k = 1 to half - 1 do
-    let scale = sqrt (eigen.(k) /. (2.0 *. fm)) in
-    let g1 = gaussian () and g2 = gaussian () in
-    a_re.(k) <- scale *. g1;
-    a_im.(k) <- scale *. g2;
-    a_re.(m - k) <- scale *. g1;
-    a_im.(m - k) <- -.(scale *. g2)
-  done;
-  Lrd_numerics.Fft.forward ~re:a_re ~im:a_im;
-  Array.sub a_re 0 n
+module Plan = struct
+  type t = Circulant.t
+
+  let make ~hurst ~n =
+    check_hurst hurst;
+    if n <= 0 then invalid_arg "Fgn.davies_harte: n must be positive";
+    Circulant.make ~name:"Fgn.davies_harte"
+      ~acv:(fun k -> autocovariance ~hurst k)
+      ~tol:1e-8 ~n
+
+  let length = Circulant.length
+  let draw = Circulant.draw
+  let generate = Circulant.generate
+end
+
+(* Plans hold mutable scratch, so the cache is per domain: composes with
+   the parallel pool without locks, and each long-lived worker domain
+   amortizes the eigenvalue setup across its share of a sweep. *)
+let domain_plans =
+  Lrd_parallel.Arena.create (fun (hurst, n) -> Plan.make ~hurst ~n)
+
+let domain_plan ~hurst ~n = Lrd_parallel.Arena.get domain_plans (hurst, n)
+
+let davies_harte rng ~hurst ~n = Plan.generate (Plan.make ~hurst ~n) rng
 
 let hosking rng ~hurst ~n =
   check_hurst hurst;

@@ -16,6 +16,12 @@ let default =
 let mean_rate p = p.arrival_rate *. p.mean_duration *. p.rate_per_session
 let hurst p = (3.0 -. p.alpha) /. 2.0
 
+(* Per-domain slot-work scratch, keyed by the slot count so the array
+   length always matches exactly.  The buffer is refilled with zeros at
+   the top of every [generate], so reuse is invisible to the output; the
+   returned trace copies out of it ([Array.map] below). *)
+let work_scratch = Lrd_parallel.Arena.create (fun slots -> Array.make slots 0.0)
+
 let deposit work t0 t1 rate ~slot ~slots =
   let horizon = float_of_int slots *. slot in
   let t0 = Float.max 0.0 t0 and t1 = Float.min horizon t1 in
@@ -39,7 +45,8 @@ let generate ?(params = default) rng ~slots ~slot =
     invalid_arg "Mginf.generate: alpha must exceed 1";
   let horizon = float_of_int slots *. slot in
   let theta = params.mean_duration *. (params.alpha -. 1.0) in
-  let work = Array.make slots 0.0 in
+  let work = Lrd_parallel.Arena.get work_scratch slots in
+  Array.fill work 0 slots 0.0;
   (* Stationary initial sessions: Poisson(lambda E[D]) many, each with an
      equilibrium residual duration.  The residual ccdf of the shifted
      Pareto is ((t + theta)/theta)^(1 - alpha), inverted in closed

@@ -1,6 +1,15 @@
-(* Fisher-Yates on an index array. *)
+(* Per-domain permutation scratch: the index array is consumed inside
+   [external_shuffle] before any other shuffle can run on this domain,
+   so it never needs a fresh allocation.  Refilling with the identity
+   before the same Fisher-Yates pass keeps the draws — and therefore the
+   shuffle — bit-identical to a freshly allocated array. *)
+let perm_scratch = Lrd_parallel.Arena.create (fun n -> Array.make n 0)
+
 let permutation rng n =
-  let p = Array.init n (fun i -> i) in
+  let p = Lrd_parallel.Arena.get perm_scratch n in
+  for i = 0 to n - 1 do
+    p.(i) <- i
+  done;
   for i = n - 1 downto 1 do
     let j = Lrd_rng.Rng.int rng ~bound:(i + 1) in
     let tmp = p.(i) in

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Run the full micro-benchmark suite and compare against the committed
+# BENCH_micro.json baseline.  Regressions >2x print warnings but never
+# fail the script: shared CI runners are too noisy for a hard perf gate.
+# Equivalent to `dune build @bench-check`.
+set -eu
+cd "$(dirname "$0")/.."
+exec dune exec bench/main.exe -- --micro --check BENCH_micro.json "$@"

@@ -105,6 +105,39 @@ let test_split_indexed () =
     (fun () -> ignore (Lrd_rng.Rng.split_indexed (base ()) ~index:(-1)))
 
 (* ------------------------------------------------------------------ *)
+(* Arena: per-domain memoization.  Within one domain the builder runs
+   once per key and the same value comes back; a different domain gets
+   its own independently-built value (no sharing, hence no locking). *)
+
+let test_arena_memoizes_per_domain () =
+  let builds = Atomic.make 0 in
+  let arena =
+    Arena.create (fun key ->
+        Atomic.incr builds;
+        Array.make 4 key)
+  in
+  let a = Arena.get arena 7 in
+  let b = Arena.get arena 7 in
+  let c = Arena.get arena 9 in
+  Alcotest.(check bool) "same key, same array" true (a == b);
+  Alcotest.(check bool) "distinct keys, distinct arrays" false (a == c);
+  Alcotest.(check int) "one build per key" 2 (Atomic.get builds);
+  Alcotest.(check int) "size counts this domain's entries" 2 (Arena.size arena);
+  (* A fresh domain must not see this domain's entries: its first get
+     triggers a build of its own. *)
+  let other =
+    Domain.join
+      (Domain.spawn (fun () ->
+           let d = Arena.get arena 7 in
+           let e = Arena.get arena 7 in
+           (d == e, Arena.size arena)))
+  in
+  Alcotest.(check bool) "other domain memoizes too" true (fst other);
+  Alcotest.(check int) "other domain has its own table" 1 (snd other);
+  Alcotest.(check int) "other domain rebuilt key 7" 3 (Atomic.get builds);
+  Alcotest.(check int) "this domain's table untouched" 2 (Arena.size arena)
+
+(* ------------------------------------------------------------------ *)
 (* Sweep grid validation *)
 
 let test_buffers_validation () =
@@ -264,6 +297,11 @@ let () =
         ] );
       ( "rng",
         [ Alcotest.test_case "split_indexed" `Quick test_split_indexed ] );
+      ( "arena",
+        [
+          Alcotest.test_case "memoizes per domain" `Quick
+            test_arena_memoizes_per_domain;
+        ] );
       ( "sweep",
         [
           Alcotest.test_case "buffers validation" `Quick

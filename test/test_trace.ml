@@ -147,6 +147,57 @@ let test_hosking_matches_davies_harte_statistics () =
   check_close ~eps:0.2 "acv lag 4" (Fgn.autocovariance ~hurst 4)
     (empirical_acv xs 4)
 
+let test_fgn_plan_bit_identical () =
+  (* The plan caches the eigenvalue spectrum and scratch; its draws must
+     be bitwise the ones davies_harte produces from the same rng state,
+     including across plan reuse. *)
+  let hurst = 0.8 and n = 1000 in
+  let reference = Fgn.davies_harte (rng ()) ~hurst ~n in
+  let plan = Fgn.Plan.make ~hurst ~n in
+  Alcotest.(check int) "plan length" n (Fgn.Plan.length plan);
+  Alcotest.(check bool) "generate bitwise" true
+    (reference = Fgn.Plan.generate plan (rng ()));
+  let dst = Array.make n Float.nan in
+  Fgn.Plan.draw plan (rng ()) ~dst;
+  Alcotest.(check bool) "draw into dst bitwise" true (reference = dst);
+  (* Reuse: a second draw from the same plan with a fresh rng reproduces
+     the stream exactly (the scratch carries no state between draws). *)
+  Fgn.Plan.draw plan (rng ()) ~dst;
+  Alcotest.(check bool) "reused plan bitwise" true (reference = dst);
+  (* The per-domain arena hands back an equivalent plan. *)
+  Alcotest.(check bool) "domain plan bitwise" true
+    (reference = Fgn.Plan.generate (Fgn.domain_plan ~hurst ~n) (rng ()));
+  Alcotest.check_raises "short dst"
+    (Invalid_argument "Circulant.draw: dst too short") (fun () ->
+      Fgn.Plan.draw plan (rng ()) ~dst:(Array.make (n - 1) 0.0))
+
+let test_generators_match_target_autocovariance () =
+  (* Both exact generators must agree with the closed-form target
+     autocovariance when averaged over independent replications: this
+     pins the generators to the model, not just to each other. *)
+  let hurst = 0.75 and n = 512 and reps = 40 in
+  let mean_acv generate lag =
+    let acc = ref 0.0 in
+    let r = rng () in
+    for _ = 1 to reps do
+      acc := !acc +. empirical_acv (generate r) lag
+    done;
+    !acc /. float_of_int reps
+  in
+  let plan = Fgn.Plan.make ~hurst ~n in
+  List.iter
+    (fun lag ->
+      let target = Fgn.autocovariance ~hurst lag in
+      check_close ~eps:0.12
+        (Printf.sprintf "davies-harte lag %d" lag)
+        target
+        (mean_acv (fun r -> Fgn.Plan.generate plan r) lag);
+      check_close ~eps:0.12
+        (Printf.sprintf "hosking lag %d" lag)
+        target
+        (mean_acv (fun r -> Fgn.hosking r ~hurst ~n) lag))
+    [ 0; 1; 4 ]
+
 let test_fgn_rejects_bad_hurst () =
   Alcotest.check_raises "hurst 1" (Invalid_argument "Fgn: hurst must lie in (0, 1)")
     (fun () -> ignore (Fgn.davies_harte (rng ()) ~hurst:1.0 ~n:16));
@@ -476,6 +527,31 @@ let prop_shuffle_preserves_multiset =
       let kept = Array.sub t.Trace.rates 0 (Trace.length s) in
       sorted_copy s.Trace.rates = sorted_copy kept)
 
+let prop_fgn_plan_matches_davies_harte =
+  (* Across the whole (hurst, n) parameter space, planned draws are the
+     one-shot generator's draws, bit for bit, including odd n (where the
+     embedding rounds up) and n = 1. *)
+  QCheck.Test.make ~name:"Fgn.Plan draws are bitwise davies_harte draws"
+    ~count:40
+    (QCheck.make
+       QCheck.Gen.(pair (float_range 0.05 0.95) (int_range 1 300)))
+    (fun (hurst, n) ->
+      let reference = Fgn.davies_harte (rng ()) ~hurst ~n in
+      let plan = Fgn.Plan.make ~hurst ~n in
+      reference = Fgn.Plan.generate plan (rng ())
+      && reference = Fgn.Plan.generate plan (rng ()))
+
+let prop_farima_plan_matches_generate =
+  QCheck.Test.make ~name:"Farima.Plan draws are bitwise generate draws"
+    ~count:25
+    (QCheck.make
+       QCheck.Gen.(pair (float_range 0.0 0.45) (int_range 1 300)))
+    (fun (d, n) ->
+      let reference = Farima.generate (rng ()) ~d ~n in
+      let plan = Farima.Plan.make ~d ~n in
+      reference = Farima.Plan.generate plan (rng ())
+      && reference = Farima.Plan.generate plan (rng ()))
+
 let prop_histogram_mass_one =
   QCheck.Test.make ~name:"histogram marginal probabilities sum to 1" ~count:50
     (QCheck.make
@@ -513,6 +589,10 @@ let () =
             test_davies_harte_covariance_structure;
           Alcotest.test_case "hosking statistics" `Slow
             test_hosking_matches_davies_harte_statistics;
+          Alcotest.test_case "plan bit-identical" `Quick
+            test_fgn_plan_bit_identical;
+          Alcotest.test_case "generators match target acv" `Slow
+            test_generators_match_target_autocovariance;
           Alcotest.test_case "rejects bad hurst" `Quick
             test_fgn_rejects_bad_hurst;
         ] );
@@ -585,5 +665,11 @@ let () =
             test_io_rejects_missing_header;
         ] );
       ( "properties",
-        qcheck [ prop_shuffle_preserves_multiset; prop_histogram_mass_one ] );
+        qcheck
+          [
+            prop_shuffle_preserves_multiset;
+            prop_fgn_plan_matches_davies_harte;
+            prop_farima_plan_matches_generate;
+            prop_histogram_mass_one;
+          ] );
     ]
