@@ -48,6 +48,52 @@ let trace_file_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry plumbing shared by the compute-heavy subcommands.
+
+   [--metrics text|json] turns the Obs layer on for the whole run and
+   prints one aggregated snapshot (solver convergence, pool scheduling,
+   cache traffic) to stdout afterwards; [--metrics-out FILE] redirects
+   the snapshot to a file and implies JSON unless a format was given. *)
+
+let metrics_format_arg =
+  let doc =
+    "Enable telemetry and print a metrics snapshot after the run; $(docv) \
+     is $(b,text) or $(b,json)."
+  in
+  Arg.(
+    value
+    & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
+    & info [ "metrics" ] ~docv:"FORMAT" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write the metrics snapshot to $(docv) instead of stdout (implies \
+     $(b,--metrics json) unless a format is given)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let with_metrics format out f =
+  let wanted = format <> None || out <> None in
+  if wanted then Lrd_obs.Obs.set_enabled true;
+  let result = f () in
+  if wanted then begin
+    let snap = Lrd_obs.Obs.snapshot () in
+    let rendered =
+      match format with
+      | Some `Text -> Format.asprintf "%a" Lrd_obs.Obs.pp_text snap
+      | Some `Json | None -> Lrd_obs.Obs.to_json snap
+    in
+    match out with
+    | None -> print_string rendered
+    | Some file ->
+        let oc = open_out file in
+        output_string oc rendered;
+        close_out oc
+  end;
+  result
+
+(* ------------------------------------------------------------------ *)
 (* solve *)
 
 let solve_cmd =
@@ -72,7 +118,8 @@ let solve_cmd =
     Arg.(value & opt (some float) None & info [ "epoch" ] ~docv:"SECONDS" ~doc)
   in
   let run quick seed utilization buffer hurst cutoff marginal_name trace epoch
-      =
+      metrics metrics_out =
+    with_metrics metrics metrics_out @@ fun () ->
     let ctx = Lrd_experiments.Data.create ~seed ~quick () in
     let model_result =
       match trace with
@@ -131,7 +178,8 @@ let solve_cmd =
     Term.(
       ret
         (const run $ quick_arg $ seed_arg $ utilization_arg $ buffer_arg
-       $ hurst_arg $ cutoff_arg $ marginal_arg $ trace_file_arg $ epoch_arg))
+       $ hurst_arg $ cutoff_arg $ marginal_arg $ trace_file_arg $ epoch_arg
+       $ metrics_format_arg $ metrics_out_arg))
 
 (* ------------------------------------------------------------------ *)
 (* trace *)
@@ -308,7 +356,8 @@ let fit_cmd =
     let doc = "Hurst parameter (default: wavelet estimate from the trace)." in
     Arg.(value & opt (some float) None & info [ "H"; "hurst" ] ~docv:"H" ~doc)
   in
-  let run utilization buffer hurst path =
+  let run utilization buffer hurst path metrics metrics_out =
+    with_metrics metrics metrics_out @@ fun () ->
     match read_trace path with
     | Error msg -> `Error (false, msg)
     | Ok trace ->
@@ -346,7 +395,9 @@ let fit_cmd =
   in
   Cmd.v (Cmd.info "fit" ~doc)
     Term.(
-      ret (const run $ utilization_arg $ buffer_arg $ hurst_arg $ file_arg))
+      ret
+        (const run $ utilization_arg $ buffer_arg $ hurst_arg $ file_arg
+       $ metrics_format_arg $ metrics_out_arg))
 
 (* ------------------------------------------------------------------ *)
 (* ams *)
@@ -560,7 +611,8 @@ let experiment_cmd =
                identical for every value." in
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
-  let run quick seed jobs ids =
+  let run quick seed jobs metrics metrics_out ids =
+    with_metrics metrics metrics_out @@ fun () ->
     match
       try Ok (Lrd_experiments.Data.create ~seed ~jobs ~quick ())
       with Invalid_argument msg -> Error msg
@@ -590,7 +642,10 @@ let experiment_cmd =
   in
   let doc = "run the paper's figures and the ablations" in
   Cmd.v (Cmd.info "experiment" ~doc)
-    Term.(ret (const run $ quick_arg $ seed_arg $ jobs_arg $ ids_arg))
+    Term.(
+      ret
+        (const run $ quick_arg $ seed_arg $ jobs_arg $ metrics_format_arg
+       $ metrics_out_arg $ ids_arg))
 
 (* ------------------------------------------------------------------ *)
 

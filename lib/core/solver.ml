@@ -45,6 +45,26 @@ let log_src = Logs.Src.create "lrd.solver" ~doc:"fluid queue loss solver"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+module Obs = Lrd_obs.Obs
+
+(* Solver telemetry.  Everything is recorded at check-period or
+   per-solve granularity — never inside [Workspace.step] — so the
+   zero-allocation step invariant is untouched and the instrumentation
+   cost is amortized over [check_every] iterations.  The bound-gap
+   trajectory keeps the most recent relative gaps ((upper - lower) /
+   midpoint, the paper's 20% stopping ratio), which is the convergence
+   curve Proposition II.1 predicts to be monotone in n and m. *)
+let m_solves = Obs.Counter.make "solver/solves"
+let m_iterations = Obs.Counter.make "solver/iterations"
+let m_refinements = Obs.Counter.make "solver/refinements"
+let m_warm_restarts = Obs.Counter.make "solver/warm_restarts"
+let m_budget_exhausted = Obs.Counter.make "solver/budget_exhausted"
+let m_workspaces_fft = Obs.Counter.make "solver/workspaces_fft"
+let m_workspaces_direct = Obs.Counter.make "solver/workspaces_direct"
+let m_gap_trajectory = Obs.Trajectory.make "solver/bound_gap_rel"
+let m_last_gap = Obs.Gauge.make "solver/last_bound_gap_rel"
+let m_solve_span = Obs.Span.make "solver/solve_seconds"
+
 (* ------------------------------------------------------------------ *)
 (* Per-level workspace.
 
@@ -88,6 +108,7 @@ module Workspace = struct
           (* One centralized crossover for signal (m+1) vs kernel (2m+1). *)
           Lrd_numerics.Convolution.prefer_fft ~na:(m + 1) ~nb:((2 * m) + 1)
     in
+    Obs.Counter.incr (if use_fft then m_workspaces_fft else m_workspaces_direct);
     let kernels =
       if use_fft then
         Dual
@@ -267,7 +288,7 @@ let mean_virtual_delay occ ~service_rate =
   let lo, hi = mean_occupancy occ in
   (lo /. service_rate, hi /. service_rate)
 
-let solve_detailed ?(params = default_params) ?cache model ~service_rate
+let solve_detailed_impl ?(params = default_params) ?cache model ~service_rate
     ~buffer =
   if not (service_rate > 0.0) then
     invalid_arg "Solver.solve: service rate must be positive";
@@ -319,6 +340,7 @@ let solve_detailed ?(params = default_params) ?cache model ~service_rate
     let iterations = ref 0 and refinements = ref 0 in
     let prev_lower = ref Float.nan and prev_upper = ref Float.nan in
     let finish ~converged ~lo ~hi =
+      if not converged then Obs.Counter.incr m_budget_exhausted;
       ( {
           loss =
             (if hi < params.negligible_loss then 0.0 else (lo +. hi) /. 2.0);
@@ -349,6 +371,12 @@ let solve_detailed ?(params = default_params) ?cache model ~service_rate
       Log.debug (fun f ->
           f "n=%d m=%d lower=%.4g upper=%.4g" !iterations (Workspace.bins !ws)
             lo hi);
+      if Obs.enabled () then begin
+        Obs.Counter.add m_iterations steps;
+        let rel = if mid > 0.0 then gap /. mid else 0.0 in
+        Obs.Trajectory.record m_gap_trajectory rel;
+        Obs.Gauge.set m_last_gap rel
+      end;
       if hi < params.negligible_loss then finish ~converged:true ~lo ~hi
       else if gap <= params.tolerance *. mid then
         finish ~converged:true ~lo ~hi
@@ -377,7 +405,11 @@ let solve_detailed ?(params = default_params) ?cache model ~service_rate
               Workspace.make ~convolution:params.convolution workload ~buffer
                 ~m:(m * 2)
             in
-            if params.warm_restart then Workspace.refine_from ~src:!ws next;
+            Obs.Counter.incr m_refinements;
+            if params.warm_restart then begin
+              Obs.Counter.incr m_warm_restarts;
+              Workspace.refine_from ~src:!ws next
+            end;
             ws := next;
             incr refinements;
             prev_lower := Float.nan;
@@ -396,6 +428,11 @@ let solve_detailed ?(params = default_params) ?cache model ~service_rate
     in
     loop ()
   end
+
+let solve_detailed ?params ?cache model ~service_rate ~buffer =
+  Obs.Counter.incr m_solves;
+  Obs.Span.time m_solve_span (fun () ->
+      solve_detailed_impl ?params ?cache model ~service_rate ~buffer)
 
 let solve ?params ?cache model ~service_rate ~buffer =
   fst (solve_detailed ?params ?cache model ~service_rate ~buffer)

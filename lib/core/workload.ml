@@ -227,6 +227,15 @@ let make_workload = create
 module Cache = struct
   type workload = t
 
+  (* Cache traffic also feeds the telemetry layer: the counters
+     aggregate over every cache instance, while the hit-rate gauge
+     reflects the instance that looked up last (one cache per figure
+     sweep, so "the active sweep's hit rate"). *)
+  let m_lookups = Lrd_obs.Obs.Counter.make "workload_cache/lookups"
+  let m_hits = Lrd_obs.Obs.Counter.make "workload_cache/hits"
+  let m_misses = Lrd_obs.Obs.Counter.make "workload_cache/misses"
+  let m_hit_rate = Lrd_obs.Obs.Gauge.make "workload_cache/hit_rate"
+
   type t = {
     lock : Mutex.t;
     models : (string, Model.t) Hashtbl.t;
@@ -250,12 +259,22 @@ module Cache = struct
   let find_or_build c tbl key build =
     Mutex.lock c.lock;
     c.lookups <- c.lookups + 1;
+    Lrd_obs.Obs.Counter.incr m_lookups;
+    let update_hit_rate () =
+      if Lrd_obs.Obs.enabled () then
+        Lrd_obs.Obs.Gauge.set m_hit_rate
+          (float_of_int c.hits /. float_of_int c.lookups)
+    in
     match Hashtbl.find_opt tbl key with
     | Some v ->
         c.hits <- c.hits + 1;
+        Lrd_obs.Obs.Counter.incr m_hits;
+        update_hit_rate ();
         Mutex.unlock c.lock;
         v
     | None -> (
+        Lrd_obs.Obs.Counter.incr m_misses;
+        update_hit_rate ();
         match build () with
         | v ->
             Hashtbl.add tbl key v;

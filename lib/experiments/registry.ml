@@ -52,6 +52,11 @@ let extensions =
 let all = figures @ ablations @ extensions
 let find id = List.find_opt (fun e -> e.id = id) all
 
+module Obs = Lrd_obs.Obs
+
+let m_runs = Obs.Counter.make "experiment/runs"
+let m_wall = Obs.Span.make "experiment/wall_seconds"
+
 let run ?only ctx fmt =
   let selected =
     match only with
@@ -66,8 +71,18 @@ let run ?only ctx fmt =
   in
   List.iter
     (fun e ->
+      Obs.Counter.incr m_runs;
       let t0 = Sys.time () in
+      let w0 = Obs.Span.start () in
       e.run ctx fmt;
+      (* Per-figure wall time lands in a gauge named after the figure
+         (each figure runs once per invocation) plus the shared
+         histogram for an all-up latency distribution. *)
+      Obs.Span.stop m_wall w0;
+      if Obs.enabled () then
+        Obs.Gauge.set
+          (Obs.Gauge.make ("experiment/" ^ e.id ^ "/wall_seconds"))
+          (Obs.now () -. w0);
       Format.fprintf fmt "[%s completed in %.2f s CPU]@." e.id
         (Sys.time () -. t0))
     selected

@@ -30,12 +30,19 @@ let stream_counts ~quick () =
    the parallel grids are bit-identical to the sequential ones, which
    the tier-1 determinism test enforces. *)
 
+(* Grid cells evaluated through the sweep helpers, pooled or
+   sequential: the denominator for workload-cache and solver counters
+   when reading a metrics snapshot of a figure run. *)
+let m_cells = Lrd_obs.Obs.Counter.make "sweep/cells"
+
 let map ?pool f xs =
+  Lrd_obs.Obs.Counter.add m_cells (Array.length xs);
   match pool with
   | None -> Array.map f xs
   | Some p -> Lrd_parallel.Pool.map p f xs
 
 let psurface ?pool ~xs ~ys ~f () =
+  Lrd_obs.Obs.Counter.add m_cells (Array.length xs * Array.length ys);
   match pool with
   | None -> Array.map (fun y -> Array.map (fun x -> f x y) xs) ys
   | Some p -> Lrd_parallel.Pool.map2_grid p ~xs ~ys ~f

@@ -24,9 +24,12 @@ type plan = {
   wim : float array;  (* sin of the forward angle (<= 0 half-plane). *)
 }
 
+let m_plans_built = Lrd_obs.Obs.Counter.make "fft/plans_built"
+
 let make_plan n =
   if not (is_power_of_two n) then
     invalid_arg "Fft.make_plan: size must be a power of two";
+  Lrd_obs.Obs.Counter.incr m_plans_built;
   let bitrev = Array.make n 0 in
   for i = 1 to n - 1 do
     (* Shift the previous reversal right and bring in the new low bit. *)
@@ -118,10 +121,18 @@ let inverse_ip plan ~re ~im =
 
 let plan_cache : (int, plan) Hashtbl.t = Hashtbl.create 16
 
+(* Cache traffic is worth watching: a workload that misses here on a
+   hot path is rebuilding twiddle tables instead of transforming. *)
+let m_plan_hits = Lrd_obs.Obs.Counter.make "fft/plan_cache_hits"
+let m_plan_misses = Lrd_obs.Obs.Counter.make "fft/plan_cache_misses"
+
 let cached_plan n =
   match Hashtbl.find_opt plan_cache n with
-  | Some p -> p
+  | Some p ->
+      Lrd_obs.Obs.Counter.incr m_plan_hits;
+      p
   | None ->
+      Lrd_obs.Obs.Counter.incr m_plan_misses;
       let p = make_plan n in
       Hashtbl.add plan_cache n p;
       p

@@ -7,14 +7,22 @@ type ('k, 'v) t = {
   build : 'k -> 'v;
 }
 
+(* One counter across all arenas: what matters is how often any domain
+   pays a workspace build instead of a memo hit, not which arena. *)
+let m_builds = Lrd_obs.Obs.Counter.make "arena/workspace_builds"
+let m_hits = Lrd_obs.Obs.Counter.make "arena/workspace_hits"
+
 let create build =
   { tables = Domain.DLS.new_key (fun () -> Hashtbl.create 8); build }
 
 let get t key =
   let table = Domain.DLS.get t.tables in
   match Hashtbl.find_opt table key with
-  | Some v -> v
+  | Some v ->
+      Lrd_obs.Obs.Counter.incr m_hits;
+      v
   | None ->
+      Lrd_obs.Obs.Counter.incr m_builds;
       let v = t.build key in
       Hashtbl.add table key v;
       v

@@ -60,11 +60,27 @@ module Deque = struct
     r
 end
 
+module Obs = Lrd_obs.Obs
+
+(* Scheduler telemetry: counters are per-domain cells, so the worker
+   hot path records lock-free; everything is a no-op (one branch, no
+   allocation) while Obs is disabled.  "Stolen" counts land on the
+   thief's domain; "run" counts on whichever domain executed, so
+   run-per-domain is the load-balance picture and stolen-per-domain the
+   imbalance repair traffic. *)
+let m_jobs = Obs.Counter.make "pool/jobs"
+let m_tasks_run = Obs.Counter.make "pool/tasks_run"
+let m_tasks_stolen = Obs.Counter.make "pool/tasks_stolen"
+let m_task_run = Obs.Span.make "pool/task_run_seconds"
+let m_queue_wait = Obs.Histogram.make "pool/queue_wait_seconds"
+
 type job = {
   run_task : int -> unit;
   deques : Deque.t array;  (* one per participant *)
   pending : int Atomic.t;  (* tasks not yet completed *)
   failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+  submitted : float;  (* Obs.Span.start at job creation; neg_infinity
+                         when telemetry was off *)
 }
 
 type t = {
@@ -85,11 +101,17 @@ let parallelism t = Array.length t.workers + 1
    counted) so the caller unblocks quickly.  Returns true iff this call
    completed the job's last task. *)
 let execute job i =
-  (if Atomic.get job.failure = None then
-     try job.run_task i
-     with e ->
-       let bt = Printexc.get_raw_backtrace () in
-       ignore (Atomic.compare_and_set job.failure None (Some (e, bt))));
+  (if Atomic.get job.failure = None then begin
+     let t0 = Obs.Span.start () in
+     if t0 > neg_infinity && job.submitted > neg_infinity then
+       Obs.Histogram.observe m_queue_wait (t0 -. job.submitted);
+     Obs.Counter.incr m_tasks_run;
+     (try job.run_task i
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set job.failure None (Some (e, bt))));
+     Obs.Span.stop m_task_run t0
+   end);
   Atomic.fetch_and_add job.pending (-1) = 1
 
 let drain pool job ~me =
@@ -109,6 +131,7 @@ let drain pool job ~me =
       match Deque.steal job.deques.(victim) with
       | Some i ->
           progressed := true;
+          Obs.Counter.incr m_tasks_stolen;
           if execute job i then finished_now := true
       | None -> ()
     done;
@@ -182,8 +205,15 @@ let iter t run_task n =
       Array.init parts (fun p ->
           Deque.of_block ~lo:(p * n / parts) ~hi:((p + 1) * n / parts))
     in
+    Obs.Counter.incr m_jobs;
     let job =
-      { run_task; deques; pending = Atomic.make n; failure = Atomic.make None }
+      {
+        run_task;
+        deques;
+        pending = Atomic.make n;
+        failure = Atomic.make None;
+        submitted = Obs.Span.start ();
+      }
     in
     Mutex.lock t.lock;
     if t.job <> None then begin

@@ -1,0 +1,350 @@
+(* Tests for the telemetry layer (lib/obs).
+
+   The suite shares one process-global registry, so every test uses its
+   own instrument names and sets the enable flag explicitly at entry.
+   The zero-allocation test is the acceptance invariant of the whole
+   design: metrics compiled into the hot paths must cost one branch and
+   no allocation while disabled. *)
+
+module Obs = Lrd_obs.Obs
+module Pool = Lrd_parallel.Pool
+
+let reset_disabled () =
+  Obs.set_enabled false;
+  Obs.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Disabled path: one branch, zero minor-heap words. *)
+
+let test_disabled_path_does_not_allocate () =
+  reset_disabled ();
+  let c = Obs.Counter.make "test_obs/disabled_counter" in
+  let g = Obs.Gauge.make "test_obs/disabled_gauge" in
+  let h = Obs.Histogram.make "test_obs/disabled_histogram" in
+  let tr = Obs.Trajectory.make "test_obs/disabled_trajectory" in
+  let sp = Obs.Span.make "test_obs/disabled_span" in
+  (* Warm up so instrument lookup / DLS cell creation is out of the
+     measured region (they only happen when enabled anyway, but be
+     safe). *)
+  let exercise () =
+    for i = 0 to 63 do
+      Obs.Counter.incr c;
+      Obs.Counter.add c i;
+      (* Guarded idiom for float arguments: without flambda a
+         cross-module float argument boxes at the call site, so
+         allocation-sensitive callers branch before passing it.  This
+         is exactly how solver/pool call sites are written. *)
+      if Obs.enabled () then Obs.Gauge.set g 1.5;
+      if Obs.enabled () then Obs.Histogram.observe h 1e-3;
+      if Obs.enabled () then Obs.Trajectory.record tr 0.25;
+      let t0 = Obs.Span.start () in
+      Obs.Span.stop sp t0
+    done
+  in
+  exercise ();
+  let w0 = Gc.minor_words () in
+  exercise ();
+  let allocated = Gc.minor_words () -. w0 in
+  match Sys.backend_type with
+  | Sys.Native ->
+      if allocated > 0.0 then
+        Alcotest.failf "disabled telemetry allocated %.0f minor words"
+          allocated
+  | Sys.Bytecode | Sys.Other _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Counters: totals, per-domain isolation, reset. *)
+
+let test_counter_totals () =
+  reset_disabled ();
+  let c = Obs.Counter.make "test_obs/counter_totals" in
+  Obs.Counter.incr c;
+  Alcotest.(check int) "disabled incr ignored" 0 (Obs.Counter.value c);
+  Obs.set_enabled true;
+  Obs.Counter.incr c;
+  Obs.Counter.add c 41;
+  Alcotest.(check int) "enabled total" 42 (Obs.Counter.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Obs.Counter.add: negative increment") (fun () ->
+      Obs.Counter.add c (-1));
+  Obs.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Obs.Counter.value c);
+  Obs.set_enabled false
+
+let test_counter_kind_clash () =
+  reset_disabled ();
+  let _ = Obs.Counter.make "test_obs/kind_clash" in
+  Alcotest.(check bool) "same kind returns same instrument" true
+    (Obs.Counter.make "test_obs/kind_clash"
+     == Obs.Counter.make "test_obs/kind_clash");
+  match Obs.Gauge.make "test_obs/kind_clash" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind clash not rejected"
+
+let test_counter_per_domain_under_pool () =
+  reset_disabled ();
+  Obs.set_enabled true;
+  let c = Obs.Counter.make "test_obs/per_domain" in
+  let n = 64 in
+  Pool.with_pool ~workers:2 (fun pool ->
+      ignore
+        (Pool.map pool
+           (fun i ->
+             Obs.Counter.incr c;
+             i)
+           (Array.init n Fun.id)));
+  Alcotest.(check int) "total across domains" n (Obs.Counter.value c);
+  let per = Obs.Counter.per_domain c in
+  Alcotest.(check bool) "at least one domain cell" true (List.length per >= 1);
+  let sum = List.fold_left (fun acc (_, k) -> acc + k) 0 per in
+  Alcotest.(check int) "per-domain cells sum to total" n sum;
+  List.iter
+    (fun (_, k) ->
+      Alcotest.(check bool) "each cell nonnegative" true (k >= 0))
+    per;
+  let ids = List.map fst per in
+  Alcotest.(check bool) "domain ids strictly sorted" true
+    (List.sort_uniq compare ids = ids);
+  Obs.set_enabled false
+
+(* ------------------------------------------------------------------ *)
+(* Histogram bucket geometry. *)
+
+let test_histogram_bucket_boundaries () =
+  let open Obs.Histogram in
+  (* Exactness at power-of-two boundaries: 2^e opens the bucket whose
+     lower bound is 2^e, and the value just below lands one lower. *)
+  for e = min_exponent to max_exponent do
+    let v = Float.ldexp 1.0 e in
+    let i = bucket_index v in
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "lower bound of bucket for 2^%d" e)
+      v (bucket_lower i);
+    if e > min_exponent then
+      Alcotest.(check int)
+        (Printf.sprintf "pred of 2^%d lands one bucket lower" e)
+        (i - 1)
+        (bucket_index (Float.pred v))
+  done;
+  (* Underflow bucket: zero, negatives, nan and tiny values. *)
+  List.iter
+    (fun v -> Alcotest.(check int) "underflow bucket" 0 (bucket_index v))
+    [ 0.0; -1.0; Float.nan; Float.ldexp 1.0 (min_exponent - 1) ];
+  (* Clamp: anything at or above 2^(max_exponent+1), including
+     infinity, stays in the top bucket. *)
+  let top = bucket_count - 1 in
+  List.iter
+    (fun v -> Alcotest.(check int) "top bucket clamp" top (bucket_index v))
+    [ Float.ldexp 1.0 (max_exponent + 1); Float.max_float; Float.infinity ];
+  Alcotest.(check (float 0.0))
+    "underflow lower bound" Float.neg_infinity (bucket_lower 0)
+
+let test_histogram_observations () =
+  reset_disabled ();
+  Obs.set_enabled true;
+  let h = Obs.Histogram.make "test_obs/hist_obs" in
+  List.iter
+    (Obs.Histogram.observe h)
+    [ 1.0; 1.5; 2.0; 0.0; Float.ldexp 1.0 40 ];
+  Alcotest.(check int) "count" 5 (Obs.Histogram.count h);
+  (match Obs.find (Obs.snapshot ()) "test_obs/hist_obs" with
+  | Some (Obs.Histogram d) ->
+      Alcotest.(check int) "snapshot count" 5 d.Obs.count;
+      Alcotest.(check (float 1e-9)) "min" 0.0 d.Obs.min;
+      Alcotest.(check (float 1e-9)) "max" (Float.ldexp 1.0 40) d.Obs.max;
+      Alcotest.(check (float 1e-9))
+        "sum" (4.5 +. Float.ldexp 1.0 40) d.Obs.sum;
+      (* 1.0 and 1.5 share the [1,2) bucket; 2.0 opens [2,4); 0.0 is in
+         the underflow bucket; 2^40 clamps into the top bucket. *)
+      let expect =
+        [
+          (Float.neg_infinity, 1);
+          (1.0, 2);
+          (2.0, 1);
+          (Float.ldexp 1.0 Obs.Histogram.max_exponent, 1);
+        ]
+      in
+      Alcotest.(check int)
+        "nonzero buckets" (List.length expect)
+        (List.length d.Obs.buckets);
+      List.iter2
+        (fun (lo, n) (lo', n') ->
+          Alcotest.(check (float 0.0)) "bucket bound" lo lo';
+          Alcotest.(check int) "bucket count" n n')
+        expect d.Obs.buckets;
+      (* Quantile: conservative bucket lower bound. *)
+      Alcotest.(check (float 0.0))
+        "median bucket" 1.0
+        (Obs.histogram_quantile d ~q:0.5)
+  | _ -> Alcotest.fail "histogram missing from snapshot");
+  Obs.set_enabled false
+
+(* ------------------------------------------------------------------ *)
+(* Trajectory ring. *)
+
+let test_trajectory_ring () =
+  reset_disabled ();
+  Obs.set_enabled true;
+  let t = Obs.Trajectory.make ~capacity:4 "test_obs/traj" in
+  for i = 1 to 6 do
+    Obs.Trajectory.record t (float_of_int i)
+  done;
+  (match Obs.find (Obs.snapshot ()) "test_obs/traj" with
+  | Some (Obs.Trajectory [ (_, ring) ]) ->
+      Alcotest.(check (array (float 0.0)))
+        "last 4 values oldest first" [| 3.0; 4.0; 5.0; 6.0 |] ring
+  | _ -> Alcotest.fail "trajectory missing or multi-domain");
+  Obs.set_enabled false
+
+(* ------------------------------------------------------------------ *)
+(* Span timing. *)
+
+let test_span_records_duration () =
+  reset_disabled ();
+  Obs.set_enabled true;
+  let sp = Obs.Span.make "test_obs/span" in
+  let t0 = Obs.Span.start () in
+  Alcotest.(check bool) "enabled start is a real time" true (t0 > 0.0);
+  Obs.Span.stop sp t0;
+  Obs.Span.time sp (fun () -> ());
+  (match Obs.find (Obs.snapshot ()) "test_obs/span" with
+  | Some (Obs.Histogram d) ->
+      Alcotest.(check int) "two durations recorded" 2 d.Obs.count;
+      Alcotest.(check bool) "durations nonnegative" true (d.Obs.min >= 0.0)
+  | _ -> Alcotest.fail "span histogram missing");
+  (* A start taken while disabled must be ignored by stop. *)
+  Obs.set_enabled false;
+  let t0 = Obs.Span.start () in
+  Alcotest.(check (float 0.0)) "disabled start sentinel" Float.neg_infinity t0;
+  Obs.set_enabled true;
+  Obs.Span.stop sp t0;
+  (match Obs.find (Obs.snapshot ()) "test_obs/span" with
+  | Some (Obs.Histogram d) ->
+      Alcotest.(check int) "sentinel start not recorded" 2 d.Obs.count
+  | _ -> Alcotest.fail "span histogram missing");
+  Obs.set_enabled false
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot and JSON export. *)
+
+let test_snapshot_sorted_and_complete () =
+  reset_disabled ();
+  (* Registered-but-never-recorded instruments must still appear: the
+     sequential fig4 snapshot relies on pool/tasks_stolen showing up as
+     zero rather than vanishing. *)
+  let _ = Obs.Counter.make "test_obs/zz_never_recorded" in
+  let snap = Obs.snapshot () in
+  (match Obs.find snap "test_obs/zz_never_recorded" with
+  | Some (Obs.Counter { total; per_domain }) ->
+      Alcotest.(check int) "unrecorded counter is zero" 0 total;
+      Alcotest.(check int) "no domain cells" 0 (List.length per_domain)
+  | _ -> Alcotest.fail "unrecorded instrument missing from snapshot");
+  let names = List.map fst snap in
+  Alcotest.(check bool) "names sorted and unique" true
+    (List.sort_uniq String.compare names = names)
+
+let test_json_deterministic () =
+  reset_disabled ();
+  Obs.set_enabled true;
+  let c = Obs.Counter.make "test_obs/json_counter" in
+  let h = Obs.Histogram.make "test_obs/json_hist" in
+  let g = Obs.Gauge.make "test_obs/json_gauge" in
+  let t = Obs.Trajectory.make "test_obs/json_traj" in
+  Obs.Counter.add c 7;
+  Obs.Histogram.observe h 0.125;
+  Obs.Histogram.observe h Float.infinity;
+  Obs.Gauge.set g 0.75;
+  Obs.Trajectory.record t 1e-9;
+  Obs.set_enabled false;
+  let s1 = Obs.to_json (Obs.snapshot ()) in
+  let s2 = Obs.to_json (Obs.snapshot ()) in
+  Alcotest.(check string) "equal snapshots render byte-identically" s1 s2;
+  let contains sub =
+    let nl = String.length s1 and sl = String.length sub in
+    let rec at i = i + sl <= nl && (String.sub s1 i sl = sub || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "wrapper object" true
+    (String.length s1 > 2 && s1.[0] = '{');
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Printf.sprintf "contains %s" sub) true
+        (contains sub))
+    [
+      "\"metrics\"";
+      "\"test_obs/json_counter\"";
+      "\"total\": 7";
+      "\"test_obs/json_gauge\"";
+      "0.75";
+      "\"test_obs/json_hist\"";
+      "\"test_obs/json_traj\"";
+    ];
+  (* Non-finite floats must not leak into the JSON (rendered null). *)
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) (Printf.sprintf "no %s token" bad) false
+        (contains bad))
+    [ "inf"; "nan"; "neg_infinity" ];
+  (* The whole string stays structurally balanced. *)
+  let depth = ref 0 and min_depth = ref 0 in
+  String.iter
+    (fun ch ->
+      (match ch with
+      | '{' | '[' -> incr depth
+      | '}' | ']' -> decr depth
+      | _ -> ());
+      if !depth < !min_depth then min_depth := !depth)
+    s1;
+  Alcotest.(check int) "brackets balanced" 0 !depth;
+  Alcotest.(check int) "never negative depth" 0 !min_depth
+
+let test_text_renders () =
+  reset_disabled ();
+  Obs.set_enabled true;
+  let c = Obs.Counter.make "test_obs/text_counter" in
+  Obs.Counter.incr c;
+  Obs.set_enabled false;
+  let s = Format.asprintf "%a" Obs.pp_text (Obs.snapshot ()) in
+  Alcotest.(check bool) "text mentions the counter" true
+    (let sub = "test_obs/text_counter" in
+     let nl = String.length s and sl = String.length sub in
+     let rec at i = i + sl <= nl && (String.sub s i sl = sub || at (i + 1)) in
+     at 0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "disabled-path",
+        [
+          Alcotest.test_case "zero allocation" `Quick
+            test_disabled_path_does_not_allocate;
+        ] );
+      ( "counter",
+        [
+          Alcotest.test_case "totals and reset" `Quick test_counter_totals;
+          Alcotest.test_case "kind clash" `Quick test_counter_kind_clash;
+          Alcotest.test_case "per-domain under pool" `Quick
+            test_counter_per_domain_under_pool;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick
+            test_histogram_bucket_boundaries;
+          Alcotest.test_case "observations" `Quick test_histogram_observations;
+        ] );
+      ( "trajectory",
+        [ Alcotest.test_case "ring eviction" `Quick test_trajectory_ring ] );
+      ( "span",
+        [
+          Alcotest.test_case "records duration" `Quick
+            test_span_records_duration;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "snapshot sorted and complete" `Quick
+            test_snapshot_sorted_and_complete;
+          Alcotest.test_case "json deterministic" `Quick
+            test_json_deterministic;
+          Alcotest.test_case "text renders" `Quick test_text_renders;
+        ] );
+    ]
