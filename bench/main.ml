@@ -38,10 +38,13 @@ let scaling = ref false
 let json_file = ref ""
 let check_file = ref ""
 let metrics_file = ref ""
+let trace_file = ref ""
+let manifest_file = ref ""
 
 let usage =
   "main.exe [--quick] [--only fig4,fig7] [--jobs N] [--micro] [--scaling] \
-   [--json FILE] [--check FILE] [--metrics FILE]"
+   [--json FILE] [--check FILE] [--metrics FILE] [--trace FILE] \
+   [--manifest FILE]"
 
 let spec =
   [
@@ -68,7 +71,24 @@ let spec =
       "FILE enable the Obs telemetry layer for the whole run and write \
        its JSON snapshot (solver iteration counts, pool scheduling, \
        cache traffic) to FILE at exit" );
+    ( "--trace",
+      Arg.Set_string trace_file,
+      "FILE enable timeline tracing and write the merged event journal \
+       as Chrome trace-event JSON (open in Perfetto or chrome://tracing) \
+       to FILE; independent of --metrics, both can be given" );
+    ( "--manifest",
+      Arg.Set_string manifest_file,
+      "FILE write a run provenance manifest (parameters, seed, git rev, \
+       OCaml version, wall time, final metrics snapshot) to FILE" );
   ]
+
+(* When several modes run in one invocation (e.g. --micro --scaling),
+   each mode's output files get the mode name spliced in before the
+   extension, and the telemetry layers are reset between modes so no
+   per-mode snapshot accumulates another mode's counts. *)
+let mode_file ~multi mode file =
+  if file = "" || not multi then file
+  else Filename.remove_extension file ^ "." ^ mode ^ Filename.extension file
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro suite.
@@ -254,9 +274,13 @@ let emit_json oc rows =
   output_string oc "[\n";
   List.iteri
     (fun i (name, ns, samples) ->
-      Printf.fprintf oc
-        "  {\"name\": %S, \"ns_per_run\": %.1f, \"samples\": %d}%s\n" name ns
-        samples
+      (* A failed estimate must render as null, not a literal "nan" (which
+         is not JSON and would poison every downstream parse of the file). *)
+      let ns_str =
+        if Float.is_finite ns then Printf.sprintf "%.1f" ns else "null"
+      in
+      Printf.fprintf oc "  {\"name\": %S, \"ns_per_run\": %s, \"samples\": %d}%s\n"
+        name ns_str samples
         (if i = last then "" else ","))
     rows;
   output_string oc "]\n";
@@ -333,7 +357,7 @@ let check_against_baseline ~file rows =
       !regressions tolerance;
   !regressions
 
-let run_micro ctx =
+let run_micro ~json ctx =
   let open Bechamel in
   let open Toolkit in
   (* --quick is the CI smoke configuration: a tiny quota that still
@@ -367,7 +391,7 @@ let run_micro ctx =
   in
   (* Open the JSON sink up front so a bad path fails before the suite
      runs, not after minutes of benchmarking. *)
-  let json_oc = if !json_file = "" then None else Some (open_out !json_file) in
+  let json_oc = if json = "" then None else Some (open_out json) in
   Printf.printf "%-32s %14s %10s\n%!" "benchmark" "ns/run" "samples";
   let measure name test quota =
     let results = Benchmark.all (cfg quota) Instance.[ monotonic_clock ] test in
@@ -441,7 +465,7 @@ let time_fig12 ~jobs =
       ignore (Fig12.compute ctx);
       Unix.gettimeofday () -. t0)
 
-let run_scaling () =
+let run_scaling ~json () =
   let jobs_list = [ 1; 2; 4; 8 ] in
   Printf.printf "domain scaling on fig12 (%s grids, machine has %d cores)\n%!"
     (if !quick then "quick" else "full")
@@ -462,8 +486,8 @@ let run_scaling () =
     (fun (jobs, seconds, speedup) ->
       Printf.printf "%8d %12.3f %10.2f\n%!" jobs seconds speedup)
     rows;
-  if !json_file <> "" then begin
-    let oc = open_out !json_file in
+  if json <> "" then begin
+    let oc = open_out json in
     let last = List.length rows - 1 in
     output_string oc "[\n";
     List.iteri
@@ -483,40 +507,105 @@ let run_scaling () =
 (* Write the Obs snapshot after the benchmarked work so the JSON
    reflects the whole run (bench emits a metrics snapshot alongside its
    results when --metrics is given). *)
-let write_metrics () =
-  if !metrics_file <> "" then begin
-    let oc = open_out !metrics_file in
+let write_metrics file =
+  if file <> "" then begin
+    let oc = open_out file in
     output_string oc (Lrd_obs.Obs.to_json (Lrd_obs.Obs.snapshot ()));
     close_out oc
+  end
+
+let write_trace file =
+  if file <> "" then begin
+    let oc = open_out file in
+    output_string oc (Lrd_obs.Obs.Trace.to_chrome_json ());
+    close_out oc
+  end
+
+(* Manifest for the micro/scaling modes, which have no experiment
+   context: the bench flag set is the full parameter set.  The figures
+   mode instead routes through [Registry.run ?manifest], whose manifest
+   carries the context's seed, solver parameters and sweep grids. *)
+let write_bench_manifest ~tool file =
+  if file <> "" then begin
+    let metrics =
+      if Lrd_obs.Obs.enabled () then
+        match
+          Lrd_obs.Json.parse (Lrd_obs.Obs.to_json (Lrd_obs.Obs.snapshot ()))
+        with
+        | Ok v -> Some v
+        | Error _ -> None
+      else None
+    in
+    let parameters =
+      [
+        ("quick", Lrd_obs.Json.Bool !quick);
+        ("jobs", Lrd_obs.Json.Num (float_of_int !jobs));
+        ( "only",
+          Lrd_obs.Json.List (List.map (fun s -> Lrd_obs.Json.Str s) !only) );
+      ]
+    in
+    Lrd_obs.Manifest.write file
+      (Lrd_obs.Manifest.make ~parameters ?metrics ~tool ())
   end
 
 let () =
   Arg.parse (Arg.align spec) (fun s -> raise (Arg.Bad ("unexpected " ^ s))) usage;
   if !metrics_file <> "" then Lrd_obs.Obs.set_enabled true;
-  if !scaling then begin
-    run_scaling ();
-    write_metrics ()
-  end
-  else if !micro then begin
-    let regressions = run_micro (Data.create ~quick:!quick ()) in
-    write_metrics ();
-    if regressions > 0 then exit 3
-  end
-  else begin
-    let ctx = Data.create ~jobs:!jobs ~quick:!quick () in
-    Fun.protect
-      ~finally:(fun () -> Data.teardown ctx)
-      (fun () ->
-        let fmt = Format.std_formatter in
-        Format.fprintf fmt
-          "Reproduction of Grossglauser & Bolot, 'On the Relevance of \
-           Long-Range Dependence in Network Traffic' (SIGCOMM '96)@.";
-        Format.fprintf fmt "mode: %s, jobs: %d@."
-          (if !quick then "quick (small traces, coarse grids)"
-           else "full (paper-scale traces)")
-          (Data.jobs ctx);
-        (match !only with
-        | [] -> Registry.run ctx fmt
-        | ids -> Registry.run ~only:ids ctx fmt);
-        write_metrics ())
-  end
+  if !trace_file <> "" then Lrd_obs.Obs.Trace.set_enabled true;
+  (* Modes compose: --scaling and --micro can run in one invocation (in
+     that order); the figure regeneration runs when neither is given. *)
+  let modes =
+    (if !scaling then [ `Scaling ] else [])
+    @ (if !micro then [ `Micro ] else [])
+    @ if (not !scaling) && not !micro then [ `Figures ] else []
+  in
+  let multi = List.length modes > 1 in
+  let exit_code = ref 0 in
+  List.iteri
+    (fun i mode ->
+      if i > 0 then begin
+        (* Fresh telemetry per mode: each mode's --metrics / --trace
+           file stands alone instead of accumulating earlier modes. *)
+        Lrd_obs.Obs.reset ();
+        Lrd_obs.Obs.Trace.reset ()
+      end;
+      match mode with
+      | `Scaling ->
+          let out f = mode_file ~multi "scaling" f in
+          run_scaling ~json:(out !json_file) ();
+          write_metrics (out !metrics_file);
+          write_trace (out !trace_file);
+          write_bench_manifest ~tool:"bench --scaling" (out !manifest_file)
+      | `Micro ->
+          let out f = mode_file ~multi "micro" f in
+          let regressions =
+            run_micro ~json:(out !json_file) (Data.create ~quick:!quick ())
+          in
+          write_metrics (out !metrics_file);
+          write_trace (out !trace_file);
+          write_bench_manifest ~tool:"bench --micro" (out !manifest_file);
+          if regressions > 0 then exit_code := 3
+      | `Figures ->
+          let out f = mode_file ~multi "figures" f in
+          let ctx = Data.create ~jobs:!jobs ~quick:!quick () in
+          Fun.protect
+            ~finally:(fun () -> Data.teardown ctx)
+            (fun () ->
+              let fmt = Format.std_formatter in
+              Format.fprintf fmt
+                "Reproduction of Grossglauser & Bolot, 'On the Relevance of \
+                 Long-Range Dependence in Network Traffic' (SIGCOMM '96)@.";
+              Format.fprintf fmt "mode: %s, jobs: %d@."
+                (if !quick then "quick (small traces, coarse grids)"
+                 else "full (paper-scale traces)")
+                (Data.jobs ctx);
+              let manifest =
+                match out !manifest_file with "" -> None | f -> Some f
+              in
+              (match !only with
+              | [] -> Registry.run ?manifest ctx fmt
+              | ids -> Registry.run ~only:ids ?manifest ctx fmt);
+              write_metrics (out !metrics_file);
+              write_trace (out !trace_file)))
+    modes;
+  if !exit_code <> 0 then exit !exit_code

@@ -73,9 +73,25 @@ let metrics_out_arg =
   Arg.(
     value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
-let with_metrics format out f =
+(* [--trace FILE] (spelled [--trace-out] on the subcommands where
+   [--trace] already names an input trace file) turns timeline tracing
+   on for the run and exports the merged journal as Chrome trace-event
+   JSON.  Tracing and metrics are independent switches: when both are
+   given, each output goes to its own destination (the trace never
+   lands on stdout). *)
+let trace_out_arg names =
+  let doc =
+    "Enable timeline tracing for the run and write the merged event \
+     journal to $(docv) as Chrome trace-event JSON (open it in Perfetto \
+     or chrome://tracing).  Independent of $(b,--metrics): giving both \
+     writes both, each to its own destination."
+  in
+  Arg.(value & opt (some string) None & info names ~docv:"FILE" ~doc)
+
+let with_telemetry ?trace_out format out f =
   let wanted = format <> None || out <> None in
   if wanted then Lrd_obs.Obs.set_enabled true;
+  if trace_out <> None then Lrd_obs.Obs.Trace.set_enabled true;
   let result = f () in
   if wanted then begin
     let snap = Lrd_obs.Obs.snapshot () in
@@ -91,6 +107,13 @@ let with_metrics format out f =
         output_string oc rendered;
         close_out oc
   end;
+  (match trace_out with
+  | None -> ()
+  | Some file ->
+      Lrd_obs.Obs.Trace.set_enabled false;
+      let oc = open_out file in
+      output_string oc (Lrd_obs.Obs.Trace.to_chrome_json ());
+      close_out oc);
   result
 
 (* ------------------------------------------------------------------ *)
@@ -118,8 +141,8 @@ let solve_cmd =
     Arg.(value & opt (some float) None & info [ "epoch" ] ~docv:"SECONDS" ~doc)
   in
   let run quick seed utilization buffer hurst cutoff marginal_name trace epoch
-      metrics metrics_out =
-    with_metrics metrics metrics_out @@ fun () ->
+      metrics metrics_out trace_out =
+    with_telemetry ?trace_out metrics metrics_out @@ fun () ->
     let ctx = Lrd_experiments.Data.create ~seed ~quick () in
     let model_result =
       match trace with
@@ -179,7 +202,8 @@ let solve_cmd =
       ret
         (const run $ quick_arg $ seed_arg $ utilization_arg $ buffer_arg
        $ hurst_arg $ cutoff_arg $ marginal_arg $ trace_file_arg $ epoch_arg
-       $ metrics_format_arg $ metrics_out_arg))
+       $ metrics_format_arg $ metrics_out_arg
+       $ trace_out_arg [ "trace-out" ]))
 
 (* ------------------------------------------------------------------ *)
 (* trace *)
@@ -356,8 +380,8 @@ let fit_cmd =
     let doc = "Hurst parameter (default: wavelet estimate from the trace)." in
     Arg.(value & opt (some float) None & info [ "H"; "hurst" ] ~docv:"H" ~doc)
   in
-  let run utilization buffer hurst path metrics metrics_out =
-    with_metrics metrics metrics_out @@ fun () ->
+  let run utilization buffer hurst path metrics metrics_out trace_out =
+    with_telemetry ?trace_out metrics metrics_out @@ fun () ->
     match read_trace path with
     | Error msg -> `Error (false, msg)
     | Ok trace ->
@@ -397,7 +421,8 @@ let fit_cmd =
     Term.(
       ret
         (const run $ utilization_arg $ buffer_arg $ hurst_arg $ file_arg
-       $ metrics_format_arg $ metrics_out_arg))
+       $ metrics_format_arg $ metrics_out_arg
+       $ trace_out_arg [ "trace-out" ]))
 
 (* ------------------------------------------------------------------ *)
 (* ams *)
@@ -611,8 +636,19 @@ let experiment_cmd =
                identical for every value." in
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
-  let run quick seed jobs metrics metrics_out ids =
-    with_metrics metrics metrics_out @@ fun () ->
+  let manifest_arg =
+    let doc =
+      "Write a run provenance manifest to $(docv): the figure ids run, \
+       the full parameter set (seed, jobs, solver parameters, sweep \
+       grids), git revision + dirty flag, OCaml version, wall time, and \
+       the final metrics snapshot when $(b,--metrics) is on.  Two runs \
+       with the same seed and flags produce identical manifests modulo \
+       the generated_at_unix / wall_seconds lines."
+    in
+    Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE" ~doc)
+  in
+  let run quick seed jobs metrics metrics_out trace_out manifest ids =
+    with_telemetry ?trace_out metrics metrics_out @@ fun () ->
     match
       try Ok (Lrd_experiments.Data.create ~seed ~jobs ~quick ())
       with Invalid_argument msg -> Error msg
@@ -631,11 +667,12 @@ let experiment_cmd =
                   Lrd_experiments.Registry.all;
                 `Ok ()
             | [] ->
-                Lrd_experiments.Registry.run ctx Format.std_formatter;
+                Lrd_experiments.Registry.run ?manifest ctx
+                  Format.std_formatter;
                 `Ok ()
             | ids -> (
                 try
-                  Lrd_experiments.Registry.run ~only:ids ctx
+                  Lrd_experiments.Registry.run ~only:ids ?manifest ctx
                     Format.std_formatter;
                   `Ok ()
                 with Invalid_argument msg -> `Error (false, msg)))
@@ -645,7 +682,56 @@ let experiment_cmd =
     Term.(
       ret
         (const run $ quick_arg $ seed_arg $ jobs_arg $ metrics_format_arg
-       $ metrics_out_arg $ ids_arg))
+       $ metrics_out_arg
+       $ trace_out_arg [ "trace"; "trace-out" ]
+       $ manifest_arg $ ids_arg))
+
+(* ------------------------------------------------------------------ *)
+(* metrics diff *)
+
+let metrics_cmd =
+  let diff_cmd =
+    let base_arg =
+      let doc =
+        "Baseline snapshot: a $(b,--metrics json) file, a bench \
+         $(b,--json) baseline (BENCH_micro.json), or a run manifest."
+      in
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"BASE" ~doc)
+    in
+    let current_arg =
+      let doc = "Current snapshot to compare, in any of the same formats." in
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"CURRENT" ~doc)
+    in
+    let threshold_arg =
+      let doc =
+        "Regression ratio: a series regresses when current > $(docv) x \
+         base (decreases never regress)."
+      in
+      Arg.(value & opt float 2.0 & info [ "threshold" ] ~docv:"RATIO" ~doc)
+    in
+    let min_abs_arg =
+      let doc =
+        "Additionally require the absolute increase to reach $(docv) \
+         before calling a regression (filters noise on tiny series)."
+      in
+      Arg.(value & opt float 0.0 & info [ "min-abs" ] ~docv:"DELTA" ~doc)
+    in
+    let run base current threshold min_abs =
+      (* Exit codes mirror the bench harness: 0 clean, 3 regression,
+         2 unreadable or unrecognized input.  Names present on only one
+         side warn without failing, so an --only-filtered run can be
+         diffed against a full baseline. *)
+      exit (Lrd_obs.Diff.run ~threshold ~min_abs ~base ~current ())
+    in
+    let doc =
+      "compare two metrics snapshots (exit 0 clean, 3 on regression, 2 \
+       on unreadable input)"
+    in
+    Cmd.v (Cmd.info "diff" ~doc)
+      Term.(const run $ base_arg $ current_arg $ threshold_arg $ min_abs_arg)
+  in
+  let doc = "inspect and compare metrics snapshots" in
+  Cmd.group (Cmd.info "metrics" ~doc) [ diff_cmd ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -668,4 +754,5 @@ let () =
             ams_cmd;
             stationarity_cmd;
             experiment_cmd;
+            metrics_cmd;
           ]))

@@ -337,9 +337,16 @@ let solve_detailed_impl ?(params = default_params) ?cache model ~service_rate
         (Workspace.make ~convolution:params.convolution workload ~buffer
            ~m:params.initial_bins)
     in
+    (* Trace granularity mirrors the metric granularity: one slice per
+       resolution level plus refinement instants — never per check
+       period, which would flood the ring on 200k-iteration solves. *)
+    if Obs.Trace.enabled () then
+      Obs.Trace.begin_ ~arg:params.initial_bins "solver/level";
     let iterations = ref 0 and refinements = ref 0 in
     let prev_lower = ref Float.nan and prev_upper = ref Float.nan in
     let finish ~converged ~lo ~hi =
+      if Obs.Trace.enabled () then
+        Obs.Trace.end_ ~arg:(Workspace.bins !ws) "solver/level";
       if not converged then Obs.Counter.incr m_budget_exhausted;
       ( {
           loss =
@@ -406,10 +413,18 @@ let solve_detailed_impl ?(params = default_params) ?cache model ~service_rate
                 ~m:(m * 2)
             in
             Obs.Counter.incr m_refinements;
+            if Obs.Trace.enabled () then begin
+              Obs.Trace.end_ ~arg:m "solver/level";
+              Obs.Trace.instant ~arg:(m * 2) "solver/refine"
+            end;
             if params.warm_restart then begin
               Obs.Counter.incr m_warm_restarts;
+              if Obs.Trace.enabled () then
+                Obs.Trace.instant ~arg:(m * 2) "solver/warm_restart";
               Workspace.refine_from ~src:!ws next
             end;
+            if Obs.Trace.enabled () then
+              Obs.Trace.begin_ ~arg:(m * 2) "solver/level";
             ws := next;
             incr refinements;
             prev_lower := Float.nan;
@@ -432,7 +447,8 @@ let solve_detailed_impl ?(params = default_params) ?cache model ~service_rate
 let solve_detailed ?params ?cache model ~service_rate ~buffer =
   Obs.Counter.incr m_solves;
   Obs.Span.time m_solve_span (fun () ->
-      solve_detailed_impl ?params ?cache model ~service_rate ~buffer)
+      Obs.Trace.with_span "solver/solve" (fun () ->
+          solve_detailed_impl ?params ?cache model ~service_rate ~buffer))
 
 let solve ?params ?cache model ~service_rate ~buffer =
   fst (solve_detailed ?params ?cache model ~service_rate ~buffer)

@@ -108,3 +108,37 @@ let solver_params t =
       max_iterations = 40_000;
     }
   else d
+
+let manifest_fields t =
+  let open Lrd_obs.Json in
+  let p = solver_params t in
+  [
+    (* The seed prints as a string: an int64 can exceed a JSON-safe
+       double and must survive the round-trip exactly. *)
+    ("seed", Str (Int64.to_string t.seed));
+    ("quick", Bool t.quick);
+    ("jobs", Num (float_of_int t.jobs));
+    (* How cell randomness derives from the seed — fixed by the
+       determinism contract, recorded so a manifest is self-describing. *)
+    ("rng_splits", Str "per-cell Rng.split_indexed on the cell index");
+    ( "solver",
+      Obj
+        [
+          ("initial_bins", Num (float_of_int p.Lrd_core.Solver.initial_bins));
+          ("max_bins", Num (float_of_int p.Lrd_core.Solver.max_bins));
+          ("tolerance", Num p.Lrd_core.Solver.tolerance);
+          ("negligible_loss", Num p.Lrd_core.Solver.negligible_loss);
+          ( "max_iterations",
+            Num (float_of_int p.Lrd_core.Solver.max_iterations) );
+          ("check_every", Num (float_of_int p.Lrd_core.Solver.check_every));
+          ("stall_factor", Num p.Lrd_core.Solver.stall_factor);
+          ("warm_restart", Bool p.Lrd_core.Solver.warm_restart);
+          ( "convolution",
+            Str
+              (match p.Lrd_core.Solver.convolution with
+              | `Auto -> "auto"
+              | `Fft -> "fft"
+              | `Direct -> "direct") );
+        ] );
+  ]
+  @ Sweep.manifest_fields ~quick:t.quick ()

@@ -84,3 +84,10 @@ val bc_model : t -> cutoff:float -> Lrd_core.Model.t
 val solver_params : t -> Lrd_core.Solver.params
 (** Solver parameters used across experiments ([quick] lowers the
     refinement cap and iteration budget). *)
+
+val manifest_fields : t -> (string * Lrd_obs.Json.t) list
+(** The context's full parameter set for a run's provenance manifest:
+    seed (as a decimal string — int64-exact), quick flag, jobs, the RNG
+    split scheme, every solver parameter, and the shared sweep grids
+    ({!Sweep.manifest_fields}).  Deterministic for a given context
+    configuration. *)

@@ -57,7 +57,7 @@ module Obs = Lrd_obs.Obs
 let m_runs = Obs.Counter.make "experiment/runs"
 let m_wall = Obs.Span.make "experiment/wall_seconds"
 
-let run ?only ctx fmt =
+let run ?only ?manifest ctx fmt =
   let selected =
     match only with
     | None -> all
@@ -69,12 +69,17 @@ let run ?only ctx fmt =
           ids;
         List.filter (fun e -> List.mem e.id ids) all
   in
+  let run_t0 = Unix.gettimeofday () in
   List.iter
     (fun e ->
       Obs.Counter.incr m_runs;
       let t0 = Sys.time () in
       let w0 = Obs.Span.start () in
-      e.run ctx fmt;
+      if Obs.Trace.enabled () then Obs.Trace.begin_ ("experiment/" ^ e.id);
+      Fun.protect
+        ~finally:(fun () ->
+          if Obs.Trace.enabled () then Obs.Trace.end_ ("experiment/" ^ e.id))
+        (fun () -> e.run ctx fmt);
       (* Per-figure wall time lands in a gauge named after the figure
          (each figure runs once per invocation) plus the shared
          histogram for an all-up latency distribution. *)
@@ -85,4 +90,23 @@ let run ?only ctx fmt =
           (Obs.now () -. w0);
       Format.fprintf fmt "[%s completed in %.2f s CPU]@." e.id
         (Sys.time () -. t0))
-    selected
+    selected;
+  match manifest with
+  | None -> ()
+  | Some path ->
+      let metrics =
+        if Lrd_obs.Obs.enabled () then
+          (* Re-parse the canonical exporter's output rather than
+             rebuilding the tree here, so the embedded snapshot is
+             byte-equivalent to what --metrics-out writes. *)
+          match Lrd_obs.Json.parse (Lrd_obs.Obs.to_json (Obs.snapshot ())) with
+          | Ok v -> Some v
+          | Error _ -> None
+        else None
+      in
+      Lrd_obs.Manifest.write path
+        (Lrd_obs.Manifest.make
+           ~figures:(List.map (fun e -> e.id) selected)
+           ~parameters:(Data.manifest_fields ctx)
+           ~wall_seconds:(Unix.gettimeofday () -. run_t0)
+           ?metrics ~tool:"lrd experiment" ())

@@ -25,6 +25,11 @@ val all : entry list
 val find : string -> entry option
 
 val run :
-  ?only:string list -> Data.t -> Format.formatter -> unit
+  ?only:string list -> ?manifest:string -> Data.t -> Format.formatter -> unit
 (** Runs the selected entries (all by default) in registry order,
-    printing each.  Unknown ids in [only] raise [Invalid_argument]. *)
+    printing each.  Unknown ids in [only] raise [Invalid_argument].
+
+    [?manifest] writes a run provenance manifest ({!Lrd_obs.Manifest})
+    to the given path after the run: the selected figure ids, the
+    context's full parameter set ({!Data.manifest_fields}), wall time,
+    and — when telemetry is enabled — the final metrics snapshot. *)

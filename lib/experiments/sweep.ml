@@ -35,14 +35,29 @@ let stream_counts ~quick () =
    when reading a metrics snapshot of a figure run. *)
 let m_cells = Lrd_obs.Obs.Counter.make "sweep/cells"
 
+(* A traced cell records one timeline slice on whichever domain ran it;
+   pooled cells also get a [pool/task] slice from the scheduler, so the
+   sweep slice nests inside it with the cell work attributed by name. *)
+let traced1 f x =
+  if Lrd_obs.Obs.Trace.enabled () then
+    Lrd_obs.Obs.Trace.with_span "sweep/cell" (fun () -> f x)
+  else f x
+
+let traced2 f x y =
+  if Lrd_obs.Obs.Trace.enabled () then
+    Lrd_obs.Obs.Trace.with_span "sweep/cell" (fun () -> f x y)
+  else f x y
+
 let map ?pool f xs =
   Lrd_obs.Obs.Counter.add m_cells (Array.length xs);
+  let f = traced1 f in
   match pool with
   | None -> Array.map f xs
   | Some p -> Lrd_parallel.Pool.map p f xs
 
 let psurface ?pool ~xs ~ys ~f () =
   Lrd_obs.Obs.Counter.add m_cells (Array.length xs * Array.length ys);
+  let f = traced2 f in
   match pool with
   | None -> Array.map (fun y -> Array.map (fun x -> f x y) xs) ys
   | Some p -> Lrd_parallel.Pool.map2_grid p ~xs ~ys ~f
@@ -51,6 +66,24 @@ let surface ?pool ~xs ~ys ~f () =
   psurface ?pool ~xs ~ys ~f:(fun x y -> f ~x ~y) ()
 
 let cell_key x = Printf.sprintf "%h" x
+
+(* The shared parameter grids, as manifest JSON.  Infinite cutoffs are
+   rendered as the string "inf": JSON has no infinity literal and a
+   null would lose which cell the value was. *)
+let manifest_fields ~quick () =
+  let open Lrd_obs.Json in
+  let num f = if Float.is_finite f then Num f else Str "inf" in
+  let floats a = List (Array.to_list (Array.map num a)) in
+  let ints a =
+    List (Array.to_list (Array.map (fun i -> Num (float_of_int i)) a))
+  in
+  [
+    ("buffers_seconds", floats (buffers ~quick ()));
+    ("cutoffs_seconds", floats (cutoffs ~quick ()));
+    ("hursts", floats (hursts ~quick ()));
+    ("scalings", floats (scalings ~quick ()));
+    ("stream_counts", ints (stream_counts ~quick ()));
+  ]
 
 let shuffled_loss rng trace ~utilization ~buffer_seconds ~block =
   let shuffled =

@@ -61,6 +61,11 @@ val cell_key : float -> string
     including infinity, which is what {!Lrd_core.Workload.Cache}
     requires. *)
 
+val manifest_fields : quick:bool -> unit -> (string * Lrd_obs.Json.t) list
+(** The shared parameter grids above, for a run's provenance manifest:
+    [buffers_seconds], [cutoffs_seconds] (infinity as the string
+    ["inf"]), [hursts], [scalings], [stream_counts]. *)
+
 val shuffled_loss :
   Lrd_rng.Rng.t ->
   Lrd_trace.Trace.t ->

@@ -30,6 +30,8 @@ let make_plan n =
   if not (is_power_of_two n) then
     invalid_arg "Fft.make_plan: size must be a power of two";
   Lrd_obs.Obs.Counter.incr m_plans_built;
+  if Lrd_obs.Obs.Trace.enabled () then
+    Lrd_obs.Obs.Trace.instant ~arg:n "fft/plan_build";
   let bitrev = Array.make n 0 in
   for i = 1 to n - 1 do
     (* Shift the previous reversal right and bring in the new low bit. *)

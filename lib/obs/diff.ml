@@ -1,0 +1,177 @@
+type status =
+  | Unchanged
+  | Improved
+  | Changed
+  | Regressed
+  | Missing_current
+  | Missing_base
+
+type row = {
+  name : string;
+  base : float option;
+  current : float option;
+  status : status;
+}
+
+type report = { rows : row list; regressions : int; missing : int }
+
+(* ------------------------------------------------------------------ *)
+(* Scalar extraction *)
+
+let metrics_scalars entries =
+  let out = ref [] in
+  let push name v = out := (name, v) :: !out in
+  List.iter
+    (fun e ->
+      match (Json.member "name" e, Json.member "kind" e) with
+      | Some (Str name), Some (Str kind) -> (
+          let num key =
+            Option.bind (Json.member key e) Json.to_float_opt
+          in
+          match kind with
+          | "counter" -> Option.iter (push name) (num "total")
+          | "gauge" -> Option.iter (push name) (num "value")
+          | "histogram" ->
+              Option.iter (push name) (num "count");
+              Option.iter
+                (fun s -> if s <> 0.0 then push (name ^ "/sum") s)
+                (num "sum")
+          | _ -> ())
+      | _ -> ())
+    entries;
+  List.rev !out
+
+let bench_scalars entries =
+  List.filter_map
+    (fun e ->
+      match (Json.member "name" e, Json.member "ns_per_run" e) with
+      | Some (Str name), Some v ->
+          Option.map (fun f -> (name, f)) (Json.to_float_opt v)
+      | _ -> None)
+    entries
+
+let rec scalars (v : Json.t) =
+  match v with
+  | Obj _ when Json.member "metrics" v <> None && Json.member "schema" v <> None
+    -> (
+      (* A manifest: check the tag, then diff the embedded snapshot. *)
+      match Json.member "schema" v with
+      | Some (Str s) when s = Manifest.schema -> (
+          match Json.member "metrics" v with
+          | Some Null | None -> Ok []
+          | Some m -> scalars m)
+      | Some (Str s) -> Error (Printf.sprintf "unknown manifest schema %S" s)
+      | _ -> Error "manifest schema tag is not a string")
+  | Obj _ -> (
+      match Json.member "metrics" v with
+      | Some (List entries) -> Ok (metrics_scalars entries)
+      | _ -> Error "not a metrics snapshot (no \"metrics\" array)")
+  | List entries -> Ok (bench_scalars entries)
+  | _ -> Error "not a recognized snapshot (expected an object or array)"
+
+(* ------------------------------------------------------------------ *)
+
+let classify ~threshold ~min_abs base current =
+  match (base, current) with
+  | None, Some _ -> Missing_base
+  | Some _, None -> Missing_current
+  | None, None -> Unchanged
+  | Some b, Some c ->
+      if c = b then Unchanged
+      else if c > b then
+        if b > 0.0 && c > threshold *. b && c -. b >= min_abs then Regressed
+        else Changed
+      else if b > 0.0 && b > threshold *. c && b -. c >= min_abs then Improved
+      else Changed
+
+let compare_values ?(threshold = 2.0) ?(min_abs = 0.0) base current =
+  match (scalars base, scalars current) with
+  | Error e, _ -> Error ("base: " ^ e)
+  | _, Error e -> Error ("current: " ^ e)
+  | Ok bs, Ok cs ->
+      let names =
+        List.sort_uniq String.compare (List.map fst bs @ List.map fst cs)
+      in
+      let rows =
+        List.map
+          (fun name ->
+            let base = List.assoc_opt name bs
+            and current = List.assoc_opt name cs in
+            { name; base; current; status = classify ~threshold ~min_abs base current })
+          names
+      in
+      let count st = List.length (List.filter (fun r -> r.status = st) rows) in
+      Ok
+        {
+          rows;
+          regressions = count Regressed;
+          missing = count Missing_current + count Missing_base;
+        }
+
+let status_label = function
+  | Unchanged -> "="
+  | Improved -> "improved"
+  | Changed -> "changed"
+  | Regressed -> "REGRESSED"
+  | Missing_current -> "missing in current"
+  | Missing_base -> "missing in base"
+
+let render report =
+  let b = Buffer.create 1024 in
+  let fmt_v = function
+    | None -> "-"
+    | Some f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Printf.sprintf "%.0f" f
+        else Printf.sprintf "%.6g" f
+  in
+  let shown =
+    List.filter (fun r -> r.status <> Unchanged) report.rows
+  in
+  let name_w =
+    List.fold_left (fun w r -> max w (String.length r.name)) 4 shown
+  in
+  if shown <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "%-*s  %14s  %14s  %8s  %s\n" name_w "name" "base"
+         "current" "ratio" "status");
+    List.iter
+      (fun r ->
+        let ratio =
+          match (r.base, r.current) with
+          | Some bv, Some c when bv > 0.0 -> Printf.sprintf "%.2fx" (c /. bv)
+          | _ -> "-"
+        in
+        Buffer.add_string b
+          (Printf.sprintf "%-*s  %14s  %14s  %8s  %s\n" name_w r.name
+             (fmt_v r.base) (fmt_v r.current) ratio (status_label r.status)))
+      shown
+  end;
+  let total = List.length report.rows in
+  Buffer.add_string b
+    (Printf.sprintf
+       "%d series compared: %d unchanged, %d regressed, %d missing on one \
+        side\n"
+       total
+       (total - List.length shown)
+       report.regressions report.missing);
+  Buffer.contents b
+
+let run ?threshold ?min_abs ~base ~current () =
+  let load label path =
+    match Json.of_file path with
+    | Ok v -> Ok v
+    | Error e -> Error (Printf.sprintf "%s (%s): %s" label path e)
+  in
+  match (load "base" base, load "current" current) with
+  | Error e, _ | _, Error e ->
+      prerr_endline ("lrd metrics diff: " ^ e);
+      2
+  | Ok b, Ok c -> (
+      match compare_values ?threshold ?min_abs b c with
+      | Error e ->
+          prerr_endline ("lrd metrics diff: " ^ e);
+          2
+      | Ok report ->
+          print_string (render report);
+          if report.regressions > 0 then 3 else 0)

@@ -1,0 +1,340 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: plain recursive descent over the string with a mutable
+   position.  Errors raise [Fail] internally and surface as [Error]. *)
+
+exception Fail of int * string
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Fail (st.pos, msg))
+let peek st = if st.pos < String.length st.src then st.src.[st.pos] else '\255'
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    &&
+    match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  if peek st = c then st.pos <- st.pos + 1
+  else fail st (Printf.sprintf "expected '%c'" c)
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+(* \uXXXX escapes decode to UTF-8; unpaired surrogates decode as-is
+   (WTF-8), which keeps parse(print(x)) total without a validity
+   pass. *)
+let add_utf8 b code =
+  if code < 0x80 then Buffer.add_char b (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if st.pos >= String.length st.src then fail st "unterminated string";
+    let c = st.src.[st.pos] in
+    st.pos <- st.pos + 1;
+    if c = '"' then Buffer.contents b
+    else if c = '\\' then begin
+      (if st.pos >= String.length st.src then fail st "unterminated escape";
+       let e = st.src.[st.pos] in
+       st.pos <- st.pos + 1;
+       match e with
+       | '"' -> Buffer.add_char b '"'
+       | '\\' -> Buffer.add_char b '\\'
+       | '/' -> Buffer.add_char b '/'
+       | 'b' -> Buffer.add_char b '\b'
+       | 'f' -> Buffer.add_char b '\012'
+       | 'n' -> Buffer.add_char b '\n'
+       | 'r' -> Buffer.add_char b '\r'
+       | 't' -> Buffer.add_char b '\t'
+       | 'u' ->
+           let hex4 () =
+             if st.pos + 4 > String.length st.src then
+               fail st "bad \\u escape";
+             let hex = String.sub st.src st.pos 4 in
+             st.pos <- st.pos + 4;
+             try int_of_string ("0x" ^ hex)
+             with _ -> fail st "bad \\u escape"
+           in
+           let code = hex4 () in
+           (* A high surrogate followed by an escaped low surrogate is
+              one astral codepoint; anything else falls through to the
+              WTF-8 single-unit encoding. *)
+           if
+             code >= 0xD800 && code <= 0xDBFF
+             && st.pos + 2 <= String.length st.src
+             && st.src.[st.pos] = '\\'
+             && st.src.[st.pos + 1] = 'u'
+           then begin
+             let mark = st.pos in
+             st.pos <- st.pos + 2;
+             let lo = hex4 () in
+             if lo >= 0xDC00 && lo <= 0xDFFF then
+               add_utf8 b
+                 (0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00))
+             else begin
+               st.pos <- mark;
+               add_utf8 b code
+             end
+           end
+           else add_utf8 b code
+       | _ -> fail st "bad escape");
+      go ()
+    end
+    else begin
+      Buffer.add_char b c;
+      go ()
+    end
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let digits () =
+    while
+      match peek st with '0' .. '9' -> true | _ -> false
+    do
+      st.pos <- st.pos + 1
+    done
+  in
+  if peek st = '-' then st.pos <- st.pos + 1;
+  digits ();
+  if peek st = '.' then begin
+    st.pos <- st.pos + 1;
+    digits ()
+  end;
+  (match peek st with
+  | 'e' | 'E' ->
+      st.pos <- st.pos + 1;
+      (match peek st with '+' | '-' -> st.pos <- st.pos + 1 | _ -> ());
+      digits ()
+  | _ -> ());
+  if st.pos = start then fail st "expected a value";
+  match float_of_string_opt (String.sub st.src start (st.pos - start)) with
+  | Some f -> Num f
+  | None -> fail st "malformed number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | '{' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = '}' then begin
+        st.pos <- st.pos + 1;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | ',' ->
+              st.pos <- st.pos + 1;
+              members ((k, v) :: acc)
+          | '}' ->
+              st.pos <- st.pos + 1;
+              List.rev ((k, v) :: acc)
+          | _ -> fail st "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+  | '[' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = ']' then begin
+        st.pos <- st.pos + 1;
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | ',' ->
+              st.pos <- st.pos + 1;
+              elements (v :: acc)
+          | ']' ->
+              st.pos <- st.pos + 1;
+              List.rev (v :: acc)
+          | _ -> fail st "expected ',' or ']'"
+        in
+        List (elements [])
+      end
+  | '"' -> Str (parse_string st)
+  | 't' -> literal st "true" (Bool true)
+  | 'f' -> literal st "false" (Bool false)
+  | 'n' ->
+      if
+        st.pos + 3 <= String.length st.src
+        && String.sub st.src st.pos 3 = "nan"
+      then begin
+        st.pos <- st.pos + 3;
+        Num Float.nan
+      end
+      else literal st "null" Null
+  | 'N' -> literal st "NaN" (Num Float.nan)
+  | 'i' -> literal st "inf" (Num Float.infinity)
+  | 'I' -> literal st "Infinity" (Num Float.infinity)
+  | '-'
+    when st.pos + 1 < String.length st.src
+         && (st.src.[st.pos + 1] = 'i' || st.src.[st.pos + 1] = 'I') ->
+      st.pos <- st.pos + 1;
+      if peek st = 'i' then literal st "inf" (Num Float.neg_infinity)
+      else literal st "Infinity" (Num Float.neg_infinity)
+  | _ -> parse_number st
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  match parse_value st with
+  | v ->
+      skip_ws st;
+      if st.pos < String.length s then
+        Error (Printf.sprintf "byte %d: trailing garbage" st.pos)
+      else Ok v
+  | exception Fail (pos, msg) -> Error (Printf.sprintf "byte %d: %s" pos msg)
+
+let parse_exn s =
+  match parse s with Ok v -> v | Error e -> failwith ("Json.parse: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Integers print without an exponent or trailing ".", other floats
+   with the shortest of %.15g/%.16g/%.17g that round-trips — so equal
+   trees always print byte-identically and parse back to equal trees. *)
+let print_num b f =
+  if not (Float.is_finite f) then Buffer.add_string b "null"
+  else if Float.is_integer f && Float.abs f < 1e16 then
+    Buffer.add_string b (Printf.sprintf "%.0f" f)
+  else begin
+    let s15 = Printf.sprintf "%.15g" f in
+    let s =
+      if float_of_string s15 = f then s15
+      else
+        let s16 = Printf.sprintf "%.16g" f in
+        if float_of_string s16 = f then s16 else Printf.sprintf "%.17g" f
+    in
+    Buffer.add_string b s
+  end
+
+let to_string ?(pretty = false) v =
+  let b = Buffer.create 256 in
+  let indent n = for _ = 1 to n do Buffer.add_string b "  " done in
+  let rec go depth v =
+    match v with
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (if x then "true" else "false")
+    | Num f -> print_num b f
+    | Str s -> escape b s
+    | List [] -> Buffer.add_string b "[]"
+    | List xs ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            if pretty then begin
+              Buffer.add_char b '\n';
+              indent (depth + 1)
+            end
+            else if i > 0 then Buffer.add_char b ' ';
+            go (depth + 1) x)
+          xs;
+        if pretty then begin
+          Buffer.add_char b '\n';
+          indent depth
+        end;
+        Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, x) ->
+            if i > 0 then Buffer.add_char b ',';
+            if pretty then begin
+              Buffer.add_char b '\n';
+              indent (depth + 1)
+            end
+            else if i > 0 then Buffer.add_char b ' ';
+            escape b k;
+            Buffer.add_string b ": ";
+            go (depth + 1) x)
+          kvs;
+        if pretty then begin
+          Buffer.add_char b '\n';
+          indent depth
+        end;
+        Buffer.add_char b '}'
+  in
+  go 0 v;
+  if pretty then Buffer.add_char b '\n';
+  Buffer.contents b
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let to_float_opt = function Num f -> Some f | _ -> None
+
+let of_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> parse s
+  | exception Sys_error e -> Error e
+
+let to_file ?pretty path v =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (to_string ?pretty v))

@@ -1,0 +1,45 @@
+(** A minimal JSON tree, parser and printer (stdlib-only — the repo
+    deliberately avoids a yojson dependency).
+
+    Used by the provenance manifests ({!Manifest}) and the metrics diff
+    engine ({!Diff}); the hot-path snapshot/trace exporters in {!Obs}
+    keep their direct-to-buffer printers and do not build trees.
+
+    The parser accepts strict JSON plus the non-finite literals [nan],
+    [inf]/[Infinity] and their negations, because historical bench
+    output printed NaN timings literally; the printer never emits them
+    (non-finite numbers render as [null]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** Key order is preserved. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed; trailing
+    non-whitespace is an error).  The error string carries a byte
+    offset. *)
+
+val parse_exn : string -> t
+(** @raise Failure on malformed input. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** [pretty:false] (default) is compact one-line JSON.  [pretty:true]
+    indents objects and lists one element per line (two-space indent) —
+    the manifest format, chosen so timestamp fields sit on their own
+    lines and are easy to filter out when comparing runs.  Both forms
+    are deterministic: equal trees yield byte-identical strings. *)
+
+val member : string -> t -> t option
+(** First value bound to the key in an [Obj]; [None] otherwise. *)
+
+val to_float_opt : t -> float option
+(** [Num] as-is, [Null] as [None]; anything else [None]. *)
+
+val of_file : string -> (t, string) result
+(** Read and parse a file; I/O errors are reported like parse errors. *)
+
+val to_file : ?pretty:bool -> string -> t -> unit

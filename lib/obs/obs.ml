@@ -504,3 +504,219 @@ let to_json s =
     s;
   Buffer.add_string b "]}\n";
   Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Trace: structured event journal.
+
+   One ring per domain (not per instrument): a trace is a single merged
+   timeline, and per-domain rings keep recording lock-free exactly like
+   the metric cells above.  Each ring holds the most recent [capacity]
+   events in parallel arrays (string pointers, a phase byte, unboxed
+   floats, ints), so recording allocates nothing even when enabled —
+   the only allocation on the whole enabled path is the once-per-domain
+   ring creation.  Event order within a domain is the record order (a
+   per-domain sequence number survives eviction because the ring always
+   holds the *last* [len] records); the cross-domain merge sorts by
+   (timestamp, domain, sequence), which is deterministic for any fixed
+   recorded contents. *)
+
+module Trace = struct
+  let trace_flag = ref false
+  let enabled () = !trace_flag
+  let set_enabled b = trace_flag := b
+
+  (* Timestamps are seconds since this process epoch, so they are small
+     (microsecond precision survives the float) and trace viewers start
+     near zero. *)
+  let epoch = Unix.gettimeofday ()
+
+  type phase = Begin | End | Instant
+
+  type event = {
+    name : string;
+    phase : phase;
+    ts : float;
+    domain : int;
+    seq : int;
+    arg : int option;
+  }
+
+  (* [min_int] marks "no payload" so the arg slot stays an unboxed int
+     store; an explicit [~arg:min_int] is indistinguishable from no arg,
+     which no caller has a reason to pass. *)
+  let no_arg = min_int
+
+  type cell = {
+    mutable names : string array;
+    mutable phases : Bytes.t;
+    mutable ts : float array;
+    mutable args : int array;
+    mutable pos : int;  (* next write index *)
+    mutable len : int;  (* live events, <= capacity *)
+    mutable next_seq : int;  (* per-domain events ever recorded *)
+    mutable dropped : int;  (* events evicted by ring overflow *)
+  }
+
+  let default_capacity = 8192
+  let capacity_ref = ref default_capacity
+  let capacity () = !capacity_ref
+
+  let alloc_cell cap =
+    {
+      names = Array.make cap "";
+      phases = Bytes.make cap 'i';
+      ts = Array.make cap 0.0;
+      args = Array.make cap no_arg;
+      pos = 0;
+      len = 0;
+      next_seq = 0;
+      dropped = 0;
+    }
+
+  let cells : (int * cell) list ref = ref []
+
+  let key =
+    Domain.DLS.new_key (fun () ->
+        Mutex.protect lock (fun () ->
+            let cell = alloc_cell !capacity_ref in
+            cells := (domain_id (), cell) :: !cells;
+            cell))
+
+  let record phase name arg =
+    let c = Domain.DLS.get key in
+    let cap = Array.length c.names in
+    if c.len = cap then c.dropped <- c.dropped + 1 else c.len <- c.len + 1;
+    let p = c.pos in
+    Array.unsafe_set c.names p name;
+    Bytes.unsafe_set c.phases p phase;
+    Array.unsafe_set c.ts p (Unix.gettimeofday () -. epoch);
+    Array.unsafe_set c.args p arg;
+    c.pos <- (p + 1) mod cap;
+    c.next_seq <- c.next_seq + 1
+
+  let instant ?(arg = no_arg) name = if !trace_flag then record 'i' name arg
+  let begin_ ?(arg = no_arg) name = if !trace_flag then record 'B' name arg
+  let end_ ?(arg = no_arg) name = if !trace_flag then record 'E' name arg
+
+  let with_span ?arg name f =
+    if not !trace_flag then f ()
+    else begin
+      begin_ ?arg name;
+      match f () with
+      | r ->
+          end_ ?arg name;
+          r
+      | exception e ->
+          end_ ?arg name;
+          raise e
+    end
+
+  (* Oldest-first events of one ring.  When the ring has wrapped the
+     oldest live record sits at [pos]; its sequence number is
+     [next_seq - len]. *)
+  let cell_events id c =
+    let cap = Array.length c.names in
+    List.init c.len (fun k ->
+        let p = if c.len < cap then k else (c.pos + k) mod cap in
+        let a = c.args.(p) in
+        {
+          name = c.names.(p);
+          phase =
+            (match Bytes.get c.phases p with
+            | 'B' -> Begin
+            | 'E' -> End
+            | _ -> Instant);
+          ts = c.ts.(p);
+          domain = id;
+          seq = c.next_seq - c.len + k;
+          arg = (if a = no_arg then None else Some a);
+        })
+
+  let events () =
+    Mutex.protect lock (fun () ->
+        List.concat_map (fun (id, c) -> cell_events id c) !cells)
+    |> List.sort (fun (a : event) (b : event) ->
+           compare (a.ts, a.domain, a.seq) (b.ts, b.domain, b.seq))
+
+  let dropped () =
+    Mutex.protect lock (fun () ->
+        List.fold_left (fun acc (_, c) -> acc + c.dropped) 0 !cells)
+
+  let reset () =
+    Mutex.protect lock (fun () ->
+        List.iter
+          (fun (_, c) ->
+            c.pos <- 0;
+            c.len <- 0;
+            c.next_seq <- 0;
+            c.dropped <- 0)
+          !cells)
+
+  let set_capacity n =
+    if n < 1 then invalid_arg "Obs.Trace.set_capacity: capacity < 1";
+    Mutex.protect lock (fun () ->
+        capacity_ref := n;
+        List.iter
+          (fun (_, c) ->
+            c.names <- Array.make n "";
+            c.phases <- Bytes.make n 'i';
+            c.ts <- Array.make n 0.0;
+            c.args <- Array.make n no_arg;
+            c.pos <- 0;
+            c.len <- 0;
+            c.next_seq <- 0;
+            c.dropped <- 0)
+          !cells)
+
+  (* Chrome trace-event JSON: a flat array of event objects (the format
+     Perfetto and chrome://tracing load directly).  Domains map to tids
+     under one pid; metadata events name the tracks.  Timestamps are
+     microseconds. *)
+  let to_chrome_json () =
+    let evs = events () in
+    let tids =
+      List.sort_uniq compare (List.map (fun e -> e.domain) evs)
+    in
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "[\n";
+    let first = ref true in
+    let sep () =
+      if !first then first := false else Buffer.add_string b ",\n"
+    in
+    sep ();
+    Buffer.add_string b
+      "{\"name\": \"process_name\", \"ph\": \"M\", \"ts\": 0, \"pid\": 0, \
+       \"tid\": 0, \"args\": {\"name\": \"lrd\"}}";
+    List.iter
+      (fun tid ->
+        sep ();
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\": \"thread_name\", \"ph\": \"M\", \"ts\": 0, \
+              \"pid\": 0, \"tid\": %d, \"args\": {\"name\": \"domain %d\"}}"
+             tid tid))
+      tids;
+    List.iter
+      (fun e ->
+        sep ();
+        Buffer.add_string b "{\"name\": ";
+        json_string b e.name;
+        let ph, scope =
+          match e.phase with
+          | Begin -> ("B", "")
+          | End -> ("E", "")
+          | Instant -> ("i", ", \"s\": \"t\"")
+        in
+        Buffer.add_string b
+          (Printf.sprintf ", \"ph\": \"%s\", \"ts\": %.3f, \"pid\": 0, \
+                           \"tid\": %d%s"
+             ph (e.ts *. 1e6) e.domain scope);
+        (match e.arg with
+        | None -> ()
+        | Some v ->
+            Buffer.add_string b (Printf.sprintf ", \"args\": {\"v\": %d}" v));
+        Buffer.add_string b "}")
+      evs;
+    Buffer.add_string b "\n]\n";
+    Buffer.contents b
+end

@@ -205,3 +205,78 @@ val to_json : snapshot -> string
     floats printed with round-trippable precision, non-finite floats
     rendered as [null].  Equal snapshots yield byte-identical
     strings. *)
+
+(** {1 Timeline tracing}
+
+    A structured event journal, independent of the metric instruments
+    above: each domain records begin/end/instant events into a private
+    bounded ring ([Domain.DLS], lock-free, allocation-free once the
+    domain's ring exists), and the rings merge into one deterministic
+    stream at export time.  Tracing has its own on/off switch — metrics
+    and traces can be enabled independently — and {!reset} above does
+    {e not} clear the journal (use {!Trace.reset}). *)
+
+module Trace : sig
+  val enabled : unit -> bool
+  (** Whether trace recording is on.  Off by default. *)
+
+  val set_enabled : bool -> unit
+
+  val capacity : unit -> int
+  (** Per-domain ring capacity (default 8192 events).  Once a ring is
+      full the oldest events are evicted and counted in {!dropped}. *)
+
+  val set_capacity : int -> unit
+  (** Reallocate every existing ring (and future rings) to hold [n]
+      events, clearing all recorded events and drop counts.  Not safe
+      concurrently with enabled recording on other domains.
+      @raise Invalid_argument if [n < 1]. *)
+
+  val instant : ?arg:int -> string -> unit
+  (** Record a point event.  [name] should be a static string (the ring
+      stores the pointer); [?arg] is an optional small integer payload
+      (grid size, cell index...).  No-op when disabled — but use the
+      guarded idiom [if Obs.Trace.enabled () then Obs.Trace.instant ...]
+      on allocation-sensitive paths so the [Some arg] option is never
+      built when tracing is off. *)
+
+  val begin_ : ?arg:int -> string -> unit
+  (** Open a duration slice on the calling domain's track.  Every
+      [begin_] must be balanced by an {!end_} with the same name on the
+      same domain (Chrome trace-event B/E semantics). *)
+
+  val end_ : ?arg:int -> string -> unit
+
+  val with_span : ?arg:int -> string -> (unit -> 'a) -> 'a
+  (** [with_span name f] brackets [f] with {!begin_}/{!end_}, also on
+      exception.  When disabled this is just [f ()]. *)
+
+  type phase = Begin | End | Instant
+
+  type event = {
+    name : string;
+    phase : phase;
+    ts : float;  (** Seconds since process start. *)
+    domain : int;
+    seq : int;  (** Per-domain record index (survives ring eviction). *)
+    arg : int option;
+  }
+
+  val events : unit -> event list
+  (** All live events merged across domains, sorted by
+      [(ts, domain, seq)] — deterministic for fixed recorded
+      contents. *)
+
+  val dropped : unit -> int
+  (** Total events evicted by ring overflow, across domains. *)
+
+  val reset : unit -> unit
+  (** Clear every ring and drop count.  Rings stay allocated.  Not safe
+      concurrently with enabled recording on other domains. *)
+
+  val to_chrome_json : unit -> string
+  (** The merged stream as Chrome trace-event JSON (the array form),
+      loadable in Perfetto or [chrome://tracing]: one object per event
+      with [name]/[ph]/[ts] (µs)/[pid]/[tid] keys, domains as tid
+      tracks, plus [thread_name] metadata events naming each track. *)
+end

@@ -23,6 +23,11 @@ let get t key =
       v
   | None ->
       Lrd_obs.Obs.Counter.incr m_builds;
+      (* A build instant (not a span): builds are rare and the point is
+         seeing *where* in a sweep a domain paid one, next to the
+         pool/task slice it happened in. *)
+      if Lrd_obs.Obs.Trace.enabled () then
+        Lrd_obs.Obs.Trace.instant "arena/workspace_build";
       let v = t.build key in
       Hashtbl.add table key v;
       v

@@ -106,10 +106,12 @@ let execute job i =
      if t0 > neg_infinity && job.submitted > neg_infinity then
        Obs.Histogram.observe m_queue_wait (t0 -. job.submitted);
      Obs.Counter.incr m_tasks_run;
+     if Obs.Trace.enabled () then Obs.Trace.begin_ ~arg:i "pool/task";
      (try job.run_task i
       with e ->
         let bt = Printexc.get_raw_backtrace () in
         ignore (Atomic.compare_and_set job.failure None (Some (e, bt))));
+     if Obs.Trace.enabled () then Obs.Trace.end_ ~arg:i "pool/task";
      Obs.Span.stop m_task_run t0
    end);
   Atomic.fetch_and_add job.pending (-1) = 1
@@ -132,6 +134,7 @@ let drain pool job ~me =
       | Some i ->
           progressed := true;
           Obs.Counter.incr m_tasks_stolen;
+          if Obs.Trace.enabled () then Obs.Trace.instant ~arg:i "pool/steal";
           if execute job i then finished_now := true
       | None -> ()
     done;
@@ -206,6 +209,7 @@ let iter t run_task n =
           Deque.of_block ~lo:(p * n / parts) ~hi:((p + 1) * n / parts))
     in
     Obs.Counter.incr m_jobs;
+    if Obs.Trace.enabled () then Obs.Trace.instant ~arg:n "pool/job";
     let job =
       {
         run_task;

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Run the full micro-benchmark suite and compare against the committed
-# BENCH_micro.json baseline.  Exit codes:
-#   0  no >2x regressions
-#   2  baseline missing or malformed (no parseable rows) — fatal
+# Run the micro-benchmark suite and diff it against the committed
+# BENCH_micro.json baseline with `lrd metrics diff`.  Exit codes:
+#   0  no >2x regressions (kernels missing from the current run — e.g.
+#      an --only-filtered sweep — warn but do not fail)
+#   2  baseline missing/malformed, or unreadable diff input — fatal
 #   3  at least one benchmark regressed >2x — CI annotates but does not
 #      fail on this (shared runners are too noisy for a hard perf gate)
-# Equivalent to `dune build @bench-check` (which accepts 0 and 3).
+# The diff report lands on stdout (CI captures it into the step
+# summary); benchmark progress goes to stderr.  Extra arguments are
+# passed to the bench binary (e.g. --quick, --only kernel/fft).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,6 +25,12 @@ if ! grep -q '"name":.*"ns_per_run":' "$baseline"; then
   exit 2
 fi
 
-# The bench binary exits 3 on regression and 2 on a malformed baseline;
-# exec passes its exit code through untouched.
-exec dune exec bench/main.exe -- --micro --check "$baseline" "$@"
+current="$(mktemp -t bench-check-current.XXXXXX.json)"
+trap 'rm -f "$current"' EXIT
+
+# The bench table goes to stderr so stdout carries only the diff report.
+dune exec bench/main.exe -- --micro --json "$current" "$@" 1>&2
+
+# The diff engine owns the comparison policy (2x ratio, tolerate
+# missing kernels); its exit code passes through untouched.
+dune exec bin/lrd_cli.exe -- metrics diff "$baseline" "$current" --threshold 2

@@ -7,11 +7,16 @@
    no allocation while disabled. *)
 
 module Obs = Lrd_obs.Obs
+module Json = Lrd_obs.Json
+module Manifest = Lrd_obs.Manifest
+module Diff = Lrd_obs.Diff
 module Pool = Lrd_parallel.Pool
 
 let reset_disabled () =
   Obs.set_enabled false;
-  Obs.reset ()
+  Obs.reset ();
+  Obs.Trace.set_enabled false;
+  Obs.Trace.reset ()
 
 (* ------------------------------------------------------------------ *)
 (* Disabled path: one branch, zero minor-heap words. *)
@@ -25,7 +30,9 @@ let test_disabled_path_does_not_allocate () =
   let sp = Obs.Span.make "test_obs/disabled_span" in
   (* Warm up so instrument lookup / DLS cell creation is out of the
      measured region (they only happen when enabled anyway, but be
-     safe). *)
+     safe).  [ignore_unit] is bound once, outside the loop, so the
+     with_span callee is not a fresh closure per iteration. *)
+  let ignore_unit () = () in
   let exercise () =
     for i = 0 to 63 do
       Obs.Counter.incr c;
@@ -38,7 +45,16 @@ let test_disabled_path_does_not_allocate () =
       if Obs.enabled () then Obs.Histogram.observe h 1e-3;
       if Obs.enabled () then Obs.Trajectory.record tr 0.25;
       let t0 = Obs.Span.start () in
-      Obs.Span.stop sp t0
+      Obs.Span.stop sp t0;
+      (* Trace journal, same contract: argless calls are free because
+         the [?arg] default is an immediate sentinel; callers that do
+         pass [~arg] guard on [Trace.enabled] so the [Some arg] option
+         is never built when tracing is off. *)
+      Obs.Trace.begin_ "test_obs/disabled_trace";
+      Obs.Trace.end_ "test_obs/disabled_trace";
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant ~arg:i "test_obs/disabled_trace_i";
+      Obs.Trace.with_span "test_obs/disabled_trace_ws" ignore_unit
     done
   in
   exercise ();
@@ -311,6 +327,434 @@ let test_text_renders () =
      let rec at i = i + sl <= nl && (String.sub s i sl = sub || at (i + 1)) in
      at 0)
 
+(* ------------------------------------------------------------------ *)
+(* Trace journal: ring eviction, merge determinism, chrome export. *)
+
+let test_trace_ring_eviction () =
+  reset_disabled ();
+  let cap0 = Obs.Trace.capacity () in
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.set_capacity cap0)
+    (fun () ->
+      Obs.Trace.set_capacity 8;
+      Alcotest.(check int) "capacity took" 8 (Obs.Trace.capacity ());
+      Obs.Trace.set_enabled true;
+      for i = 0 to 19 do
+        Obs.Trace.instant ~arg:i "test_obs/evict"
+      done;
+      Obs.Trace.set_enabled false;
+      let evs = Obs.Trace.events () in
+      Alcotest.(check int) "ring keeps capacity events" 8 (List.length evs);
+      Alcotest.(check int) "eviction counted" 12 (Obs.Trace.dropped ());
+      (* The survivors are the newest records, oldest first, with their
+         original sequence numbers and payloads intact. *)
+      List.iteri
+        (fun k (e : Obs.Trace.event) ->
+          Alcotest.(check int) "surviving seq" (12 + k) e.Obs.Trace.seq;
+          Alcotest.(check (option int))
+            "surviving payload" (Some (12 + k)) e.Obs.Trace.arg;
+          Alcotest.(check bool) "instant phase" true
+            (e.Obs.Trace.phase = Obs.Trace.Instant))
+        evs;
+      (* Timestamps never decrease within one domain's ring. *)
+      let rec mono = function
+        | (a : Obs.Trace.event) :: (b :: _ as tl) ->
+            a.Obs.Trace.ts <= b.Obs.Trace.ts && mono tl
+        | _ -> true
+      in
+      Alcotest.(check bool) "timestamps monotone" true (mono evs);
+      Obs.Trace.reset ();
+      Alcotest.(check int) "reset clears events" 0
+        (List.length (Obs.Trace.events ()));
+      Alcotest.(check int) "reset clears drops" 0 (Obs.Trace.dropped ());
+      Alcotest.check_raises "capacity < 1 rejected"
+        (Invalid_argument "Obs.Trace.set_capacity: capacity < 1") (fun () ->
+          Obs.Trace.set_capacity 0))
+
+let test_trace_merge_determinism () =
+  reset_disabled ();
+  Obs.Trace.set_enabled true;
+  let n = 32 in
+  Pool.with_pool ~workers:2 (fun pool ->
+      ignore
+        (Pool.map pool
+           (fun i -> Obs.Trace.with_span ~arg:i "test_obs/task" (fun () -> i))
+           (Array.init n Fun.id)));
+  Obs.Trace.set_enabled false;
+  let e1 = Obs.Trace.events () in
+  let e2 = Obs.Trace.events () in
+  Alcotest.(check bool) "two exports are identical" true (e1 = e2);
+  (* Each task contributes a balanced B/E pair (the pool adds its own
+     pool/task spans on top). *)
+  let count phase =
+    List.length
+      (List.filter
+         (fun (e : Obs.Trace.event) ->
+           e.Obs.Trace.name = "test_obs/task" && e.Obs.Trace.phase = phase)
+         e1)
+  in
+  Alcotest.(check int) "every begin recorded" n (count Obs.Trace.Begin);
+  Alcotest.(check int) "begins balanced by ends" n (count Obs.Trace.End);
+  (* The merged stream is sorted by (ts, domain, seq)... *)
+  let key (e : Obs.Trace.event) =
+    (e.Obs.Trace.ts, e.Obs.Trace.domain, e.Obs.Trace.seq)
+  in
+  let rec sorted = function
+    | a :: (b :: _ as tl) -> compare (key a) (key b) <= 0 && sorted tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "merge sorted by (ts, domain, seq)" true (sorted e1);
+  (* ...and within each domain the sequence numbers stay strictly
+     increasing in timestamp order, so B/E nesting is reconstructible
+     per track even after the cross-domain merge. *)
+  let domains =
+    List.sort_uniq compare
+      (List.map (fun (e : Obs.Trace.event) -> e.Obs.Trace.domain) e1)
+  in
+  Alcotest.(check bool) "at least one domain track" true
+    (List.length domains >= 1);
+  List.iter
+    (fun d ->
+      let seqs =
+        List.filter_map
+          (fun (e : Obs.Trace.event) ->
+            if e.Obs.Trace.domain = d then Some e.Obs.Trace.seq else None)
+          e1
+      in
+      let rec strictly_incr = function
+        | a :: (b :: _ as tl) -> a < b && strictly_incr tl
+        | _ -> true
+      in
+      Alcotest.(check bool) "per-domain seq strictly increasing" true
+        (strictly_incr seqs))
+    domains
+
+let test_trace_chrome_json () =
+  reset_disabled ();
+  Obs.Trace.set_enabled true;
+  Obs.Trace.begin_ ~arg:128 "test_obs/chrome";
+  Obs.Trace.instant "test_obs/chrome_i";
+  Obs.Trace.end_ "test_obs/chrome";
+  Obs.Trace.set_enabled false;
+  let s = Obs.Trace.to_chrome_json () in
+  match Json.parse s with
+  | Error e -> Alcotest.failf "chrome JSON does not parse: %s" e
+  | Ok (Json.Obj _ | Json.Num _ | Json.Str _ | Json.Bool _ | Json.Null) ->
+      Alcotest.fail "chrome JSON is not an array"
+  | Ok (Json.List items) ->
+      (* process_name + one thread_name per live track + 3 events. *)
+      Alcotest.(check int) "metadata plus events" 5 (List.length items);
+      List.iter
+        (fun it ->
+          List.iter
+            (fun k ->
+              if Json.member k it = None then
+                Alcotest.failf "event missing required key %S" k)
+            [ "name"; "ph"; "ts"; "pid"; "tid" ])
+        items;
+      let phases_of name =
+        List.filter_map
+          (fun it ->
+            match (Json.member "name" it, Json.member "ph" it) with
+            | Some (Json.Str n), Some (Json.Str p) when n = name -> Some p
+            | _ -> None)
+          items
+      in
+      Alcotest.(check (list string))
+        "metadata events present" [ "M" ]
+        (List.sort_uniq compare
+           (phases_of "process_name" @ phases_of "thread_name"));
+      Alcotest.(check (list string))
+        "begin/end round-trip in order" [ "B"; "E" ]
+        (phases_of "test_obs/chrome");
+      Alcotest.(check (list string))
+        "instant phase" [ "i" ]
+        (phases_of "test_obs/chrome_i");
+      (* The integer payload lands under args.v on the begin event. *)
+      let begin_ev =
+        List.find
+          (fun it ->
+            Json.member "name" it = Some (Json.Str "test_obs/chrome")
+            && Json.member "ph" it = Some (Json.Str "B"))
+          items
+      in
+      (match Option.bind (Json.member "args" begin_ev) (Json.member "v") with
+      | Some (Json.Num v) -> Alcotest.(check (float 0.0)) "payload" 128.0 v
+      | _ -> Alcotest.fail "begin event lost its args payload");
+      (* Timestamps are microseconds: nonnegative finite numbers. *)
+      List.iter
+        (fun it ->
+          match Json.member "ts" it with
+          | Some (Json.Num t) ->
+              Alcotest.(check bool) "ts finite and nonnegative" true
+                (Float.is_finite t && t >= 0.0)
+          | _ -> Alcotest.fail "ts is not a number")
+        items
+
+(* ------------------------------------------------------------------ *)
+(* JSON tree: parse/print round-trip and the non-finite policy. *)
+
+let test_json_roundtrip () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error e -> Alcotest.failf "%S does not parse: %s" s e
+      | Ok v ->
+          (* Both printer forms must parse back to the same tree, and the
+             compact form must be a fixed point of print-then-parse. *)
+          let compact = Json.to_string v in
+          Alcotest.(check bool)
+            (Printf.sprintf "compact round-trip of %S" s)
+            true
+            (Json.parse_exn compact = v);
+          Alcotest.(check string)
+            (Printf.sprintf "compact printing is a fixed point for %S" s)
+            compact
+            (Json.to_string (Json.parse_exn compact));
+          Alcotest.(check bool)
+            (Printf.sprintf "pretty round-trip of %S" s)
+            true
+            (Json.parse_exn (Json.to_string ~pretty:true v) = v))
+    [
+      "null";
+      "true";
+      "[]";
+      "{}";
+      "[1,-2,2.5,1e+100]";
+      "{\"a\":[{\"b\":\"c\"}],\"d\":\"\"}";
+      "\"quote \\\" backslash \\\\ control \\u0001 text\"";
+      "9007199254740993";
+    ];
+  (* Lenient non-finite literals parse (historical bench output printed
+     NaN timings), but the printer never emits them. *)
+  (match Json.parse_exn "[NaN, Infinity, -inf, nan, -Infinity]" with
+  | Json.List [ a; b; c; d; e ] ->
+      let num = function Json.Num f -> f | _ -> Alcotest.fail "not a Num" in
+      Alcotest.(check bool) "NaN parses" true (Float.is_nan (num a));
+      Alcotest.(check (float 0.0)) "Infinity" Float.infinity (num b);
+      Alcotest.(check (float 0.0)) "-inf" Float.neg_infinity (num c);
+      Alcotest.(check bool) "nan" true (Float.is_nan (num d));
+      Alcotest.(check (float 0.0)) "-Infinity" Float.neg_infinity (num e)
+  | _ -> Alcotest.fail "non-finite literal list did not parse");
+  Alcotest.(check string)
+    "non-finite renders null" "[null, null, null]"
+    (Json.to_string
+       (Json.List [ Json.Num Float.nan; Json.Num Float.infinity;
+                    Json.Num Float.neg_infinity ]));
+  (* Escaped surrogate pairs decode to UTF-8. *)
+  (match Json.parse_exn "\"\\ud83d\\ude00\"" with
+  | Json.Str s -> Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "surrogate string did not parse");
+  (* An unpaired high surrogate falls back to WTF-8 so parsing stays
+     total on any printer output. *)
+  (match Json.parse_exn "\"\\ud800x\"" with
+  | Json.Str s ->
+      Alcotest.(check string) "unpaired surrogate (WTF-8)" "\xed\xa0\x80x" s
+  | _ -> Alcotest.fail "unpaired surrogate did not parse");
+  (* Errors: trailing garbage and truncation are rejected. *)
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "%S should not parse" s
+      | Error _ -> ())
+    [ "1 x"; "{\"a\":1"; "[1,]"; "\"unterminated"; ""; "{1:2}" ]
+
+(* ------------------------------------------------------------------ *)
+(* Manifest: schema stability and round-trip determinism. *)
+
+let manifest_fixture () =
+  Manifest.make ~figures:[ "fig4"; "fig7" ]
+    ~parameters:
+      [ ("seed", Json.Str "424242"); ("jobs", Json.Num 2.0);
+        ("cutoff", Json.Str "inf") ]
+    ~wall_seconds:1.5 ~tool:"test_obs" ()
+
+let test_manifest_schema_stability () =
+  let m = manifest_fixture () in
+  (match m with
+  | Json.Obj kvs ->
+      (* The key list and order ARE the schema; a change here must bump
+         Manifest.schema. *)
+      Alcotest.(check (list string))
+        "fixed key order"
+        [
+          "schema"; "tool"; "figures"; "parameters"; "ocaml_version";
+          "os_type"; "word_size"; "argv"; "git_rev"; "git_dirty";
+          "metrics_enabled"; "generated_at_unix"; "wall_seconds"; "metrics";
+        ]
+        (List.map fst kvs)
+  | _ -> Alcotest.fail "manifest is not an object");
+  Alcotest.(check (option string))
+    "schema tag"
+    (Some "lrd-manifest/1")
+    (match Json.member "schema" m with
+    | Some (Json.Str s) -> Some s
+    | _ -> None);
+  Alcotest.(check string) "exported schema constant" "lrd-manifest/1"
+    Manifest.schema;
+  (match Json.member "ocaml_version" m with
+  | Some (Json.Str v) -> Alcotest.(check string) "ocaml version" Sys.ocaml_version v
+  | _ -> Alcotest.fail "ocaml_version missing")
+
+let test_manifest_roundtrip_deterministic () =
+  let m1 = manifest_fixture () in
+  (* Pretty output (the on-disk form) parses back to the same tree:
+     float timestamps survive because the printer is shortest
+     round-trip. *)
+  Alcotest.(check bool) "pretty form round-trips" true
+    (Json.parse_exn (Json.to_string ~pretty:true m1) = m1);
+  (* Two manifests of the same run differ only in the two timestamp
+     fields — the same-seed determinism contract the CLI relies on. *)
+  let m2 = manifest_fixture () in
+  let strip = function
+    | Json.Obj kvs ->
+        Json.Obj
+          (List.filter
+             (fun (k, _) -> k <> "generated_at_unix" && k <> "wall_seconds")
+             kvs)
+    | j -> j
+  in
+  Alcotest.(check string) "identical modulo timestamps"
+    (Json.to_string ~pretty:true (strip m1))
+    (Json.to_string ~pretty:true (strip m2));
+  (* The timestamp fields sit alone on their own pretty-printed lines,
+     so `grep -v` can filter them out of a file diff. *)
+  let lines = String.split_on_char '\n' (Json.to_string ~pretty:true m1) in
+  List.iter
+    (fun key ->
+      let hits =
+        List.filter
+          (fun l ->
+            let sub = "\"" ^ key ^ "\"" in
+            let nl = String.length l and sl = String.length sub in
+            let rec at i = i + sl <= nl && (String.sub l i sl = sub || at (i + 1)) in
+            at 0)
+          lines
+      in
+      Alcotest.(check int) (key ^ " on exactly one line") 1 (List.length hits))
+    [ "generated_at_unix"; "wall_seconds" ]
+
+(* ------------------------------------------------------------------ *)
+(* Diff engine: classification, thresholds, format auto-detection. *)
+
+let bench_json rows =
+  Json.List
+    (List.map
+       (fun (n, v) ->
+         Json.Obj [ ("name", Json.Str n); ("ns_per_run", Json.Num v) ])
+       rows)
+
+let diff_status report name =
+  (List.find (fun (r : Diff.row) -> r.Diff.name = name) report.Diff.rows)
+    .Diff.status
+
+let test_diff_classification () =
+  let base =
+    bench_json
+      [ ("flat", 100.); ("creep", 150.); ("blowup", 100.); ("faster", 100.);
+        ("gone", 5.) ]
+  in
+  let current =
+    bench_json
+      [ ("flat", 100.); ("creep", 180.); ("blowup", 300.); ("faster", 40.);
+        ("fresh", 1.) ]
+  in
+  match Diff.compare_values base current with
+  | Error e -> Alcotest.failf "diff failed: %s" e
+  | Ok r ->
+      Alcotest.(check int) "one regression" 1 r.Diff.regressions;
+      Alcotest.(check int) "two missing on one side" 2 r.Diff.missing;
+      Alcotest.(check bool) "unchanged" true
+        (diff_status r "flat" = Diff.Unchanged);
+      Alcotest.(check bool) "within threshold is changed" true
+        (diff_status r "creep" = Diff.Changed);
+      Alcotest.(check bool) ">2x is regressed" true
+        (diff_status r "blowup" = Diff.Regressed);
+      Alcotest.(check bool) "large decrease is improved" true
+        (diff_status r "faster" = Diff.Improved);
+      Alcotest.(check bool) "base-only warns" true
+        (diff_status r "gone" = Diff.Missing_current);
+      Alcotest.(check bool) "current-only warns" true
+        (diff_status r "fresh" = Diff.Missing_base);
+      let rendered = Diff.render r in
+      let contains sub =
+        let nl = String.length rendered and sl = String.length sub in
+        let rec at i =
+          i + sl <= nl && (String.sub rendered i sl = sub || at (i + 1))
+        in
+        at 0
+      in
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool) (Printf.sprintf "render mentions %S" sub) true
+            (contains sub))
+        [ "REGRESSED"; "missing in current"; "missing in base";
+          "6 series compared" ];
+      Alcotest.(check bool) "unchanged rows not rendered" false
+        (contains "flat")
+
+let test_diff_thresholds () =
+  let base = bench_json [ ("k", 100.) ] in
+  let current = bench_json [ ("k", 300.) ] in
+  let regressions ?threshold ?min_abs () =
+    match Diff.compare_values ?threshold ?min_abs base current with
+    | Ok r -> r.Diff.regressions
+    | Error e -> Alcotest.failf "diff failed: %s" e
+  in
+  Alcotest.(check int) "3x beats the default 2x gate" 1 (regressions ());
+  Alcotest.(check int) "raising the ratio clears it" 0
+    (regressions ~threshold:4.0 ());
+  Alcotest.(check int) "min_abs suppresses small absolute deltas" 0
+    (regressions ~min_abs:250.0 ());
+  Alcotest.(check int) "min_abs below the delta keeps it" 1
+    (regressions ~min_abs:200.0 ());
+  (* A zero base never regresses (ratio is meaningless). *)
+  match
+    Diff.compare_values (bench_json [ ("z", 0.) ]) (bench_json [ ("z", 50.) ])
+  with
+  | Ok r ->
+      Alcotest.(check int) "zero base cannot regress" 0 r.Diff.regressions;
+      Alcotest.(check bool) "but it does report as changed" true
+        (diff_status r "z" = Diff.Changed)
+  | Error e -> Alcotest.failf "diff failed: %s" e
+
+let test_diff_format_autodetect () =
+  reset_disabled ();
+  Obs.set_enabled true;
+  let c = Obs.Counter.make "test_obs/diff_counter" in
+  Obs.Counter.add c 7;
+  Obs.set_enabled false;
+  let snap = Json.parse_exn (Obs.to_json (Obs.snapshot ())) in
+  (* Metrics snapshot: counters compare by total. *)
+  (match Diff.scalars snap with
+  | Ok series ->
+      Alcotest.(check (option (float 0.0)))
+        "counter total extracted" (Some 7.0)
+        (List.assoc_opt "test_obs/diff_counter" series)
+  | Error e -> Alcotest.failf "snapshot not recognized: %s" e);
+  (* Manifest: the embedded snapshot is compared after a schema check. *)
+  let manifest =
+    Manifest.make ~metrics:snap ~tool:"test_obs" ()
+  in
+  (match Diff.compare_values manifest snap with
+  | Ok r -> Alcotest.(check int) "manifest vs snapshot aligns" 0 r.Diff.regressions
+  | Error e -> Alcotest.failf "manifest diff failed: %s" e);
+  (* A manifest without metrics yields an empty, valid series. *)
+  (match Diff.scalars (Manifest.make ~tool:"test_obs" ()) with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "metrics-less manifest should have no series"
+  | Error e -> Alcotest.failf "metrics-less manifest rejected: %s" e);
+  (* A wrong schema tag is an error, not a silent empty diff. *)
+  let bad =
+    Json.Obj [ ("schema", Json.Str "lrd-manifest/999"); ("metrics", Json.Null) ]
+  in
+  (match Diff.scalars bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown manifest schema accepted");
+  match Diff.scalars (Json.Str "nope") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unrecognized format accepted"
+
 let () =
   Alcotest.run "obs"
     [
@@ -346,5 +790,28 @@ let () =
           Alcotest.test_case "json deterministic" `Quick
             test_json_deterministic;
           Alcotest.test_case "text renders" `Quick test_text_renders;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring eviction" `Quick test_trace_ring_eviction;
+          Alcotest.test_case "merge determinism" `Quick
+            test_trace_merge_determinism;
+          Alcotest.test_case "chrome json" `Quick test_trace_chrome_json;
+        ] );
+      ( "json",
+        [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip ] );
+      ( "manifest",
+        [
+          Alcotest.test_case "schema stability" `Quick
+            test_manifest_schema_stability;
+          Alcotest.test_case "round-trip deterministic" `Quick
+            test_manifest_roundtrip_deterministic;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "classification" `Quick test_diff_classification;
+          Alcotest.test_case "thresholds" `Quick test_diff_thresholds;
+          Alcotest.test_case "format auto-detection" `Quick
+            test_diff_format_autodetect;
         ] );
     ]
