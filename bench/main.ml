@@ -50,9 +50,21 @@ let spec =
   [
     ("--quick", Arg.Set quick, " small traces and coarse grids");
     ( "--only",
+      (* Repeated flags accumulate, tokens are whitespace-trimmed, and
+         empty entries (trailing commas) are dropped, so
+         [--only kernel/rfft, --only "fig12, fig13"] composes. *)
       Arg.String
-        (fun s -> only := String.split_on_char ',' s),
-      "IDS comma-separated experiment ids (micro mode: substring filter)" );
+        (fun s ->
+          let ids =
+            List.filter_map
+              (fun id ->
+                let id = String.trim id in
+                if id = "" then None else Some id)
+              (String.split_on_char ',' s)
+          in
+          only := !only @ ids),
+      "IDS comma-separated experiment ids (micro mode: substring filter); \
+       may be repeated" );
     ( "--jobs",
       Arg.Set_int jobs,
       "N parallelism of the figure sweeps (1 = sequential, 0 = auto)" );
@@ -202,6 +214,30 @@ let micro_tests ctx =
   in
   let conv_dst = Array.make (1025 + 2049 - 1) 0.0 in
   let conv_dst2 = Array.make (1025 + 2049 - 1) 0.0 in
+  (* Real-engine counterparts: the half-spectrum transform alone, the
+     solver-shaped circular execute over Bigarray state, and a
+     non-power-of-two size that a radix-3 grid serves without padding
+     to 4096. *)
+  let rfft_plan = Lrd_numerics.Fft.Real.make_plan 4096 in
+  let rfft_spec_re = Array.make 2049 0.0 in
+  let rfft_spec_im = Array.make 2049 0.0 in
+  let conv_big_signal =
+    let v =
+      Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout 1025
+    in
+    for i = 0 to 1024 do v.{i} <- float_of_int (i mod 5) done;
+    v
+  in
+  let conv_big_dst =
+    let n = Lrd_numerics.Convolution.real_transform_size plan in
+    Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout n
+  in
+  let kernel1500 = Array.init 1500 (fun i -> float_of_int (i mod 7)) in
+  let signal1500 = Array.init 1500 (fun i -> float_of_int (i mod 5)) in
+  let plan1500 =
+    Lrd_numerics.Convolution.make_plan ~kernel:kernel1500 ~max_signal:1500
+  in
+  let conv_dst1500 = Array.make (1500 + 1500 - 1) 0.0 in
   let kernel_tests =
     [
       mk "kernel/fft-4096" (fun () ->
@@ -214,6 +250,15 @@ let micro_tests ctx =
       mk "kernel/conv-dual-1k" (fun () ->
           Lrd_numerics.Convolution.execute_dual dual_plan ~a:signal ~b:signal
             ~dst_a:conv_dst ~dst_b:conv_dst2);
+      mk "kernel/rfft-4096" (fun () ->
+          Lrd_numerics.Fft.Real.forward_ip rfft_plan ~signal:re ~len:4096
+            ~spec_re:rfft_spec_re ~spec_im:rfft_spec_im);
+      mk "kernel/conv-real-1k" (fun () ->
+          Lrd_numerics.Convolution.execute_real_circular plan
+            ~signal:conv_big_signal ~len:1025 ~dst:conv_big_dst);
+      mk "kernel/conv-real-1500" (fun () ->
+          Lrd_numerics.Convolution.execute plan1500 signal1500
+            ~dst:conv_dst1500);
       mk "kernel/solver-onoff-exp" (fun () ->
           ignore (Lrd_core.Solver.solve exp_model ~service_rate:1.25 ~buffer:2.0));
       mk "kernel/fgn-16k" (fun () ->
@@ -394,6 +439,13 @@ let run_micro ~json ctx =
   let json_oc = if json = "" then None else Some (open_out json) in
   Printf.printf "%-32s %14s %10s\n%!" "benchmark" "ns/run" "samples";
   let measure name test quota =
+    (* Start every benchmark from a settled heap.  Without this, an
+       allocation-heavy benchmark leaves major-GC debt that the NEXT
+       benchmark pays inside its timed region: the planned-whittle cell
+       read ~30% slower than its one-shot twin purely because it ran
+       right after it (see EXPERIMENTS.md), and the skew moved with the
+       suite order rather than the code. *)
+    Gc.compact ();
     let results = Benchmark.all (cfg quota) Instance.[ monotonic_clock ] test in
     let estimates = Analyze.all ols Instance.monotonic_clock results in
     let ns =

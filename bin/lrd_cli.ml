@@ -716,19 +716,29 @@ let metrics_cmd =
       in
       Arg.(value & opt float 0.0 & info [ "min-abs" ] ~docv:"DELTA" ~doc)
     in
-    let run base current threshold min_abs =
+    let filter_arg =
+      let doc =
+        "Compare only series whose name contains $(docv) (e.g. \
+         $(b,kernel/) to gate just the CPU micro-kernels)."
+      in
+      Arg.(
+        value & opt (some string) None & info [ "filter" ] ~docv:"SUBSTR" ~doc)
+    in
+    let run base current threshold min_abs filter =
       (* Exit codes mirror the bench harness: 0 clean, 3 regression,
          2 unreadable or unrecognized input.  Names present on only one
          side warn without failing, so an --only-filtered run can be
          diffed against a full baseline. *)
-      exit (Lrd_obs.Diff.run ~threshold ~min_abs ~base ~current ())
+      exit (Lrd_obs.Diff.run ~threshold ~min_abs ?filter ~base ~current ())
     in
     let doc =
       "compare two metrics snapshots (exit 0 clean, 3 on regression, 2 \
        on unreadable input)"
     in
     Cmd.v (Cmd.info "diff" ~doc)
-      Term.(const run $ base_arg $ current_arg $ threshold_arg $ min_abs_arg)
+      Term.(
+        const run $ base_arg $ current_arg $ threshold_arg $ min_abs_arg
+        $ filter_arg)
   in
   let doc = "inspect and compare metrics snapshots" in
   Cmd.group (Cmd.info "metrics" ~doc) [ diff_cmd ]

@@ -78,25 +78,81 @@ let m_solve_span = Obs.Span.make "solver/solve_seconds"
    sweeps FLOP-bound instead of GC-bound. *)
 
 module Workspace = struct
+  type vec = Lrd_numerics.Fft.vec
+
+  (* Three engines for the Lindley convolution, fastest first:
+
+     [Real_circular] — m is a fast size, so both chains convolve on a
+     CIRCULAR real-transform grid of only n = 2m points (half the
+     linear length, a quarter of the old power-of-two dual grid).  The
+     wrap-around is controlled aliasing: the linear output u lives on
+     [0, 3m], so the folded u^[t] = u[t] + u[t + 2m] corrupts only
+     t <= m — exactly the range the boundary fold collapses anyway.
+     The full-state mass sum_{i >= 2m} u[i] is recovered EXACTLY by an
+     O(m) correlation of the pmf with the kernel's tail cumulative
+     (tail.(j) = sum_{l >= 2m - j} ker[l]), and the empty-state mass by
+     total-mass accounting — more accurately than summing FFT output,
+     since the tail masses that drive deep-buffer loss are computed
+     from nonnegative products instead of cancelling transform noise.
+
+     [Real_linear] — m is not a fast size: plain linear convolution on
+     the default real grid (still one half-size transform each way).
+
+     [Direct] — schoolbook, for small grids. *)
   type kernels =
-    | Dual of Lrd_numerics.Convolution.dual_plan
+    | Real_circular of {
+        lower : Lrd_numerics.Convolution.real_plan;
+        upper : Lrd_numerics.Convolution.real_plan;
+        lower_tail : vec;  (* tail.(j) = sum_{l >= 2m-j} lower_ker.(l) *)
+        upper_tail : vec;
+      }
+    | Real_linear of {
+        lower : Lrd_numerics.Convolution.real_plan;
+        upper : Lrd_numerics.Convolution.real_plan;
+      }
     | Direct of { lower : float array; upper : float array }
 
   type t = {
     m : int;
     width : float;  (* grid step d = buffer / m *)
     kernels : kernels;
-    overflow : float array;  (* E[W_l | Q = j d], j = 0 .. m. *)
-    lower_q : float array;  (* floor-chain occupancy pmf, length m + 1 *)
-    upper_q : float array;  (* ceiling-chain occupancy pmf *)
-    conv_lower : float array;  (* convolution outputs, length 3 m + 1 *)
-    conv_upper : float array;
+    overflow : vec;  (* E[W_l | Q = j d], j = 0 .. m. *)
+    lower_q : vec;  (* floor-chain occupancy pmf, length m + 1 *)
+    upper_q : vec;  (* ceiling-chain occupancy pmf *)
+    conv_lower : vec;  (* convolution outputs *)
+    conv_upper : vec;
   }
+
+  let vec_make len : vec =
+    let v = Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout len in
+    Bigarray.Array1.fill v 0.0;
+    v
 
   let bins t = t.m
   let grid_step t = t.width
-  let lower_pmf t = Array.copy t.lower_q
-  let upper_pmf t = Array.copy t.upper_q
+
+  let pmf_copy (q : vec) m =
+    Array.init (m + 1) (fun j -> Bigarray.Array1.get q j)
+
+  let lower_pmf t = pmf_copy t.lower_q t.m
+  let upper_pmf t = pmf_copy t.upper_q t.m
+
+  (* Downward Neumaier cumulative of the kernel top: tail.(j) holds
+     sum_{l >= 2m - j} ker.(l) for j = 0 .. m, so the full-state mass
+     of a step is the correlation sum_j q_j tail.(j). *)
+  let tail_cumulative kernel ~m =
+    let tail = vec_make (m + 1) in
+    let s = ref 0.0 and c = ref 0.0 in
+    for i = 2 * m downto m do
+      let x = kernel.(i) in
+      let t' = !s +. x in
+      if Float.abs !s >= Float.abs x then c := !c +. (!s -. t' +. x)
+      else c := !c +. (x -. t' +. !s);
+      s := t';
+      let j = (2 * m) - i in
+      if j <= m then Bigarray.Array1.set tail j (!s +. !c)
+    done;
+    tail
 
   let make ?(convolution = `Auto) workload ~buffer ~m =
     let bins = Workload.discretize workload ~buffer ~bins:m in
@@ -111,22 +167,47 @@ module Workspace = struct
     Obs.Counter.incr (if use_fft then m_workspaces_fft else m_workspaces_direct);
     let kernels =
       if use_fft then
-        Dual
-          (Lrd_numerics.Convolution.make_dual_plan
-             ~kernel_a:bins.Workload.lower ~kernel_b:bins.Workload.upper
-             ~max_signal:(m + 1))
+        if Lrd_numerics.Fft.is_fast_size m then
+          Real_circular
+            {
+              lower =
+                Lrd_numerics.Convolution.make_real_plan ~size:(2 * m)
+                  ~kernel:bins.Workload.lower ~max_signal:(m + 1) ();
+              upper =
+                Lrd_numerics.Convolution.make_real_plan ~size:(2 * m)
+                  ~kernel:bins.Workload.upper ~max_signal:(m + 1) ();
+              lower_tail = tail_cumulative bins.Workload.lower ~m;
+              upper_tail = tail_cumulative bins.Workload.upper ~m;
+            }
+        else
+          Real_linear
+            {
+              lower =
+                Lrd_numerics.Convolution.make_real_plan
+                  ~kernel:bins.Workload.lower ~max_signal:(m + 1) ();
+              upper =
+                Lrd_numerics.Convolution.make_real_plan
+                  ~kernel:bins.Workload.upper ~max_signal:(m + 1) ();
+            }
       else
         Direct { lower = bins.Workload.lower; upper = bins.Workload.upper }
     in
-    let overflow =
-      Array.init (m + 1) (fun j ->
-          Workload.expected_overflow workload ~buffer
-            ~occupancy:(Float.min buffer (float_of_int j *. bins.Workload.step)))
+    let conv_len =
+      match kernels with
+      | Real_circular _ -> 2 * m
+      | Real_linear { lower; _ } ->
+          Lrd_numerics.Convolution.real_transform_size lower
+      | Direct _ -> (3 * m) + 1
     in
-    let lower_q = Array.make (m + 1) 0.0 in
-    let upper_q = Array.make (m + 1) 0.0 in
-    lower_q.(0) <- 1.0;
-    upper_q.(m) <- 1.0;
+    let overflow = vec_make (m + 1) in
+    let ov = Workload.overflow_table workload ~buffer ~bins:m in
+    for j = 0 to m do
+      Bigarray.Array1.set overflow j ov.(j)
+    done;
+    let lower_q = vec_make (m + 1) in
+    let upper_q = vec_make (m + 1) in
+    Bigarray.Array1.set lower_q 0 1.0;
+    Bigarray.Array1.set upper_q m 1.0;
     {
       m;
       width = bins.Workload.step;
@@ -134,8 +215,8 @@ module Workspace = struct
       overflow;
       lower_q;
       upper_q;
-      conv_lower = Array.make ((3 * m) + 1) 0.0;
-      conv_upper = Array.make ((3 * m) + 1) 0.0;
+      conv_lower = vec_make conv_len;
+      conv_upper = vec_make conv_len;
     }
 
   (* Fold the convolution [u] back onto the grid in place (eqs. 19-20):
@@ -150,39 +231,39 @@ module Workspace = struct
      break the zero-allocation invariant of [step].  Local refs compile
      to unboxed mutable variables, so this whole function stays off the
      heap. *)
-  let fold t u q =
+  let fold_exact t (u : vec) (q : vec) =
     let m = t.m in
     (* A local helper closure would re-box the refs; the Neumaier body
-       is therefore repeated verbatim in each of the three sums. *)
+       is therefore repeated verbatim in each of the sums. *)
     let s = ref 0.0 and c = ref 0.0 in
     for i = 0 to m do
-      let x = Array.unsafe_get u i in
+      let x = Bigarray.Array1.unsafe_get u i in
       let t' = !s +. x in
       if Float.abs !s >= Float.abs x then c := !c +. (!s -. t' +. x)
       else c := !c +. (x -. t' +. !s);
       s := t'
     done;
     let q0 = !s +. !c in
-    q.(0) <- (if q0 > 0.0 then q0 else 0.0);
+    Bigarray.Array1.unsafe_set q 0 (if q0 > 0.0 then q0 else 0.0);
     for j = 1 to m - 1 do
-      let v = Array.unsafe_get u (m + j) in
-      Array.unsafe_set q j (if v > 0.0 then v else 0.0)
+      let v = Bigarray.Array1.unsafe_get u (m + j) in
+      Bigarray.Array1.unsafe_set q j (if v > 0.0 then v else 0.0)
     done;
     s := 0.0;
     c := 0.0;
-    for i = 2 * m to Array.length u - 1 do
-      let x = Array.unsafe_get u i in
+    for i = 2 * m to 3 * m do
+      let x = Bigarray.Array1.unsafe_get u i in
       let t' = !s +. x in
       if Float.abs !s >= Float.abs x then c := !c +. (!s -. t' +. x)
       else c := !c +. (x -. t' +. !s);
       s := t'
     done;
     let qm = !s +. !c in
-    q.(m) <- (if qm > 0.0 then qm else 0.0);
+    Bigarray.Array1.unsafe_set q m (if qm > 0.0 then qm else 0.0);
     s := 0.0;
     c := 0.0;
     for i = 0 to m do
-      let x = Array.unsafe_get q i in
+      let x = Bigarray.Array1.unsafe_get q i in
       let t' = !s +. x in
       if Float.abs !s >= Float.abs x then c := !c +. (!s -. t' +. x)
       else c := !c +. (x -. t' +. !s);
@@ -191,29 +272,94 @@ module Workspace = struct
     let total = !s +. !c in
     if total > 0.0 && Float.abs (total -. 1.0) > 1e-15 then
       for j = 0 to m do
-        q.(j) <- q.(j) /. total
+        Bigarray.Array1.unsafe_set q j (Bigarray.Array1.unsafe_get q j /. total)
       done
 
-  (* One Lindley step for BOTH chains: a single dual-channel convolution
-     (floor pmf in the real channel, ceiling pmf in the imaginary one)
-     followed by the boundary folds.  Zero heap allocation. *)
-  let step t =
-    (match t.kernels with
-    | Dual plan ->
-        Lrd_numerics.Convolution.execute_dual plan ~a:t.lower_q ~b:t.upper_q
-          ~dst_a:t.conv_lower ~dst_b:t.conv_upper
-    | Direct { lower; upper } ->
-        Lrd_numerics.Convolution.direct_into t.lower_q lower ~dst:t.conv_lower;
-        Lrd_numerics.Convolution.direct_into t.upper_q upper ~dst:t.conv_upper);
-    fold t t.conv_lower t.lower_q;
-    fold t t.conv_upper t.upper_q
+  (* Fold for the circular grid: u holds the 2m wrapped values
+     u^[t] = u[t] + u[t + 2m].  Middle states m+1 .. 2m-1 are alias-free.
+     The full-state mass comes from the tail correlation against the OLD
+     pmf (still intact in q — the convolution reads but never writes it),
+     and the empty-state mass from the wrapped prefix minus that: the
+     prefix sum_{t <= m} u^[t] counts every aliased term exactly once. *)
+  let fold_aliased t (u : vec) (q : vec) (tail : vec) =
+    let m = t.m in
+    let s = ref 0.0 and c = ref 0.0 in
+    for j = 0 to m do
+      let x =
+        Bigarray.Array1.unsafe_get q j *. Bigarray.Array1.unsafe_get tail j
+      in
+      let t' = !s +. x in
+      if Float.abs !s >= Float.abs x then c := !c +. (!s -. t' +. x)
+      else c := !c +. (x -. t' +. !s);
+      s := t'
+    done;
+    let qm = !s +. !c in
+    s := 0.0;
+    c := 0.0;
+    for i = 0 to m do
+      let x = Bigarray.Array1.unsafe_get u i in
+      let t' = !s +. x in
+      if Float.abs !s >= Float.abs x then c := !c +. (!s -. t' +. x)
+      else c := !c +. (x -. t' +. !s);
+      s := t'
+    done;
+    let q0 = !s +. !c -. qm in
+    Bigarray.Array1.unsafe_set q 0 (if q0 > 0.0 then q0 else 0.0);
+    for j = 1 to m - 1 do
+      let v = Bigarray.Array1.unsafe_get u (m + j) in
+      Bigarray.Array1.unsafe_set q j (if v > 0.0 then v else 0.0)
+    done;
+    Bigarray.Array1.unsafe_set q m (if qm > 0.0 then qm else 0.0);
+    s := 0.0;
+    c := 0.0;
+    for i = 0 to m do
+      let x = Bigarray.Array1.unsafe_get q i in
+      let t' = !s +. x in
+      if Float.abs !s >= Float.abs x then c := !c +. (!s -. t' +. x)
+      else c := !c +. (x -. t' +. !s);
+      s := t'
+    done;
+    let total = !s +. !c in
+    if total > 0.0 && Float.abs (total -. 1.0) > 1e-15 then
+      for j = 0 to m do
+        Bigarray.Array1.unsafe_set q j (Bigarray.Array1.unsafe_get q j /. total)
+      done
 
-  let loss_of t ~norm q =
+  (* One Lindley step for BOTH chains: a real-input convolution per
+     chain (circular when the grid allows) followed by the boundary
+     folds.  Zero heap allocation. *)
+  let step t =
+    let len = t.m + 1 in
+    match t.kernels with
+    | Real_circular { lower; upper; lower_tail; upper_tail } ->
+        Lrd_numerics.Convolution.execute_real_circular lower ~signal:t.lower_q
+          ~len ~dst:t.conv_lower;
+        fold_aliased t t.conv_lower t.lower_q lower_tail;
+        Lrd_numerics.Convolution.execute_real_circular upper ~signal:t.upper_q
+          ~len ~dst:t.conv_upper;
+        fold_aliased t t.conv_upper t.upper_q upper_tail
+    | Real_linear { lower; upper } ->
+        Lrd_numerics.Convolution.execute_real_circular lower ~signal:t.lower_q
+          ~len ~dst:t.conv_lower;
+        Lrd_numerics.Convolution.execute_real_circular upper ~signal:t.upper_q
+          ~len ~dst:t.conv_upper;
+        fold_exact t t.conv_lower t.lower_q;
+        fold_exact t t.conv_upper t.upper_q
+    | Direct { lower; upper } ->
+        Lrd_numerics.Convolution.direct_into_big t.lower_q ~len ~kernel:lower
+          ~dst:t.conv_lower;
+        Lrd_numerics.Convolution.direct_into_big t.upper_q ~len ~kernel:upper
+          ~dst:t.conv_upper;
+        fold_exact t t.conv_lower t.lower_q;
+        fold_exact t t.conv_upper t.upper_q
+
+  let loss_of t ~norm (q : vec) =
     let acc = Lrd_numerics.Summation.create () in
-    Array.iteri
-      (fun j p ->
-        if p > 0.0 then Lrd_numerics.Summation.add acc (p *. t.overflow.(j)))
-      q;
+    for j = 0 to t.m do
+      let p = Bigarray.Array1.unsafe_get q j in
+      if p > 0.0 then
+        Lrd_numerics.Summation.add acc (p *. Bigarray.Array1.unsafe_get t.overflow j)
+    done;
     Lrd_numerics.Summation.total acc /. norm
 
   let losses t ~norm = (loss_of t ~norm t.lower_q, loss_of t ~norm t.upper_q)
@@ -224,11 +370,13 @@ module Workspace = struct
   let refine_from ~src dst =
     if dst.m <> 2 * src.m then
       invalid_arg "Solver.Workspace.refine_from: dst must have twice the bins";
-    Array.fill dst.lower_q 0 (dst.m + 1) 0.0;
-    Array.fill dst.upper_q 0 (dst.m + 1) 0.0;
+    Bigarray.Array1.fill dst.lower_q 0.0;
+    Bigarray.Array1.fill dst.upper_q 0.0;
     for j = 0 to src.m do
-      dst.lower_q.(2 * j) <- src.lower_q.(j);
-      dst.upper_q.(2 * j) <- src.upper_q.(j)
+      Bigarray.Array1.set dst.lower_q (2 * j)
+        (Bigarray.Array1.get src.lower_q j);
+      Bigarray.Array1.set dst.upper_q (2 * j)
+        (Bigarray.Array1.get src.upper_q j)
     done
 end
 

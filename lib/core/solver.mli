@@ -70,13 +70,16 @@ val pp_result : Format.formatter -> result -> unit
 module Workspace : sig
   type t
   (** A mutable per-resolution-level workspace: the occupancy pmfs of
-      both chains, the dual-channel FFT convolution plan built from the
-      discretized increment kernels (floor pmf rides the real channel,
-      ceiling pmf the imaginary channel of one complex transform), the
-      convolution output buffers, and the expected-overflow table.
-      Everything is allocated once when the level is built; {!step} then
-      advances both chains with {e zero heap allocation}, so iterating
-      a level is FLOP-bound rather than GC-bound. *)
+      both chains as unboxed Bigarray vectors, one real-input FFT
+      convolution plan per chain built from the discretized increment
+      kernels ({!Lrd_numerics.Convolution.make_real_plan} — circular
+      mod [2 m] with precomputed alias-fold tails when [m] is a fast
+      size, linear on a {!Lrd_numerics.Fft.good_size} grid otherwise),
+      the convolution output buffers, and the expected-overflow table
+      (built in one batch by {!Workload.overflow_table}).  Everything
+      is allocated once when the level is built; {!step} then advances
+      both chains with {e zero heap allocation}, so iterating a level
+      is FLOP-bound rather than GC-bound. *)
 
   val make :
     ?convolution:[ `Auto | `Fft | `Direct ] ->
@@ -96,9 +99,11 @@ module Workspace : sig
   (** The grid spacing [d = buffer / m]. *)
 
   val step : t -> unit
-  (** One Lindley step (eqs. 19-20) for BOTH chains: a single
-      dual-channel convolution followed by the boundary folds.  Costs
-      two FFT transforms and performs no heap allocation. *)
+  (** One Lindley step (eqs. 19-20) for BOTH chains: a real-input FFT
+      convolution per chain (each one half-size complex transform in,
+      one out) followed by the boundary folds — aliased circular folds
+      on the fast-size path, exact edge sums otherwise.  Performs no
+      heap allocation. *)
 
   val losses : t -> norm:float -> float * float
   (** Current [(lower, upper)] loss-rate bounds (eq. 23). *)

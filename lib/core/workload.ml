@@ -1,18 +1,34 @@
-(* Memo tables for the survival-function evaluations that dominate
-   discretization cost.  The keys are the raw evaluation points, so a
+(* Memo state for the survival-function evaluations that dominate
+   discretization cost.  Two layers: scalar hashtables keyed by the raw
+   evaluation points (for the point-wise API), and whole-grid caches for
+   the batch builders behind {!discretize} and {!overflow_table} — a
    refinement level at [2 m] bins reuses every evaluation its [m]-bin
    parent already made (the coarse grid is exactly every other point of
    the fine one, and [buffer /. m] halves exactly in floating point), and
-   cells of a sweep that share the workload (same model and service
-   rate, different buffer) share whatever points coincide.  A mutex
-   guards each table because a cached workload may be evaluated from
-   several domains at once; evaluations are construction-time only, never
-   part of the solver's iteration hot loop. *)
+   the batch layer reuses them without paying a mutex/hashtable round
+   trip per point.  A mutex guards the state because a cached workload
+   may be evaluated from several domains at once; evaluations are
+   construction-time only, never part of the solver's iteration hot
+   loop. *)
 type memo = {
   lock : Mutex.t;
   ge : (float, float) Hashtbl.t;
   gt : (float, float) Hashtbl.t;
   integral : (float, float) Hashtbl.t;
+  (* Whole-grid caches for the batch builders ({!discretize} and
+     {!overflow_table}).  A refinement level's grid contains its parent's
+     points bitwise (the step is an exact power-of-two scaling), so the
+     finest grid computed so far answers any coarser level by striding
+     and seeds half of the next doubling.  Batch reuse skips the
+     per-point mutex/hashtable round trip entirely, which is what
+     actually dominates a warm rebuild. *)
+  mutable grid_buffer : float;
+  mutable grid_m : int;  (* 0 = empty *)
+  mutable grid_ge : float array;  (* length 2 grid_m + 1 *)
+  mutable grid_gt : float array;
+  mutable ov_buffer : float;
+  mutable ov_m : int;  (* 0 = empty *)
+  mutable ov : float array;  (* length ov_m + 1 *)
 }
 
 type t = {
@@ -41,6 +57,13 @@ let create ?(memoize = false) model ~service_rate =
              ge = Hashtbl.create 512;
              gt = Hashtbl.create 512;
              integral = Hashtbl.create 512;
+             grid_buffer = nan;
+             grid_m = 0;
+             grid_ge = [||];
+             grid_gt = [||];
+             ov_buffer = nan;
+             ov_m = 0;
+             ov = [||];
            }
        else None);
   }
@@ -104,6 +127,113 @@ let survival_gt t x =
   | None -> survival ~weak:false t x
   | Some m -> memo_find m.lock m.gt x (survival ~weak:false t)
 
+(* One fused pass computing Pr{W >= x} and Pr{W > x} together.  The rate
+   loop, the division by delta and the per-side accumulators mirror
+   {!survival} term for term, so each side of the result is bitwise
+   identical to the corresponding single-sided call — the batch grid
+   builder depends on that identity (and [test_parallel] asserts it). *)
+let survival_both t x =
+  let acc_ge = Lrd_numerics.Summation.create ()
+  and acc_gt = Lrd_numerics.Summation.create () in
+  let s_gt = t.law.Lrd_dist.Interarrival.survival_gt
+  and s_ge = t.law.Lrd_dist.Interarrival.survival_ge in
+  Array.iteri
+    (fun i p ->
+      let delta = t.rates.(i) -. t.service_rate in
+      let term_ge, term_gt =
+        if delta > 0.0 then
+          let q = x /. delta in
+          (s_ge q, s_gt q)
+        else if delta < 0.0 then
+          let q = x /. delta in
+          (1.0 -. s_gt q, 1.0 -. s_ge q)
+        else
+          ( (if x <= 0.0 then 1.0 else 0.0),
+            if x < 0.0 then 1.0 else 0.0 )
+      in
+      Lrd_numerics.Summation.add acc_ge (p *. term_ge);
+      Lrd_numerics.Summation.add acc_gt (p *. term_gt))
+    t.probs;
+  ( Float.max 0.0 (Float.min 1.0 (Lrd_numerics.Summation.total acc_ge)),
+    Float.max 0.0 (Float.min 1.0 (Lrd_numerics.Summation.total acc_gt)) )
+
+let m_grid_fresh = Lrd_obs.Obs.Counter.make "workload_grid/points_fresh"
+let m_grid_reused = Lrd_obs.Obs.Counter.make "workload_grid/points_reused"
+let is_pow2 r = r > 0 && r land (r - 1) = 0
+
+(* Survival grids [Pr{W >= i d}], [Pr{W > i d}] for [i = -m .. m] with
+   [d = buffer / m], the construction-time bulk of {!discretize}.  The
+   memo keeps the finest grid computed for the current buffer: because
+   the step scales by exact powers of two across refinement levels, a
+   coarser grid is a bitwise stride of a finer one and a doubling reuses
+   every cached point, so a refinement chain pays for each point once —
+   without the per-point mutex/hashtable round trip of the scalar memo,
+   which is what actually dominates a warm rebuild.  Returned arrays are
+   cache-owned when a memo is attached; callers only read them. *)
+let survival_grid t ~buffer ~m =
+  let d = buffer /. float_of_int m in
+  let len = (2 * m) + 1 in
+  let compute ge gt k =
+    let sge, sgt = survival_both t (float_of_int (k - m) *. d) in
+    ge.(k) <- sge;
+    gt.(k) <- sgt
+  in
+  let build_fresh () =
+    let ge = Array.make len 0.0 and gt = Array.make len 0.0 in
+    for k = 0 to len - 1 do
+      compute ge gt k
+    done;
+    (ge, gt)
+  in
+  match t.memo with
+  | None -> build_fresh ()
+  | Some memo ->
+      Mutex.lock memo.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock memo.lock)
+        (fun () ->
+          let gm = memo.grid_m in
+          let same_buffer = gm > 0 && memo.grid_buffer = buffer in
+          if same_buffer && gm = m then (
+            Lrd_obs.Obs.Counter.add m_grid_reused len;
+            (memo.grid_ge, memo.grid_gt))
+          else if same_buffer && gm mod m = 0 && is_pow2 (gm / m) then (
+            (* The cached finer grid contains this level as a stride. *)
+            let r = gm / m in
+            let ge = Array.make len 0.0 and gt = Array.make len 0.0 in
+            for i = -m to m do
+              ge.(i + m) <- memo.grid_ge.((r * i) + gm);
+              gt.(i + m) <- memo.grid_gt.((r * i) + gm)
+            done;
+            Lrd_obs.Obs.Counter.add m_grid_reused len;
+            (ge, gt))
+          else
+            let ge = Array.make len 0.0 and gt = Array.make len 0.0 in
+            let fresh = ref len in
+            (if same_buffer && m mod gm = 0 && is_pow2 (m / gm) then (
+               (* Doubling (or further refining): cached coarse points
+                  land on every [r]-th index of this grid bitwise. *)
+               let r = m / gm in
+               for i = -gm to gm do
+                 ge.((r * i) + m) <- memo.grid_ge.(i + gm);
+                 gt.((r * i) + m) <- memo.grid_gt.(i + gm)
+               done;
+               fresh := len - ((2 * gm) + 1);
+               for k = 0 to len - 1 do
+                 if k mod r <> 0 then compute ge gt k
+               done)
+             else
+               for k = 0 to len - 1 do
+                 compute ge gt k
+               done);
+            Lrd_obs.Obs.Counter.add m_grid_fresh !fresh;
+            Lrd_obs.Obs.Counter.add m_grid_reused (len - !fresh);
+            memo.grid_buffer <- buffer;
+            memo.grid_m <- m;
+            memo.grid_ge <- ge;
+            memo.grid_gt <- gt;
+            (ge, gt))
+
 (* The interarrival law's integrated survival function, memoized like the
    survival functions (it is the inner loop of the overflow table). *)
 let law_integral t x =
@@ -140,6 +270,72 @@ let expected_overflow t ~buffer ~occupancy =
           (p *. delta *. law_integral t (headroom /. delta)))
     t.probs;
   Lrd_numerics.Summation.total acc
+
+(* {!expected_overflow} without the argument checks and with the
+   occupancy clamp folded in: the exact per-point computation the solver
+   has always run for its overflow table, calling the law's integrated
+   survival directly instead of through the scalar memo. *)
+let overflow_point t ~buffer ~step j =
+  let occupancy = Float.min buffer (float_of_int j *. step) in
+  let headroom = Float.max 0.0 (buffer -. occupancy) in
+  let integral = t.law.Lrd_dist.Interarrival.survival_integral in
+  let acc = Lrd_numerics.Summation.create () in
+  Array.iteri
+    (fun i p ->
+      let delta = t.rates.(i) -. t.service_rate in
+      if delta > 0.0 then
+        Lrd_numerics.Summation.add acc
+          (p *. delta *. integral (headroom /. delta)))
+    t.probs;
+  Lrd_numerics.Summation.total acc
+
+let overflow_table t ~buffer ~bins =
+  if not (buffer > 0.0) then
+    invalid_arg "Workload.overflow_table: buffer must be positive";
+  if bins <= 0 then
+    invalid_arg "Workload.overflow_table: bins must be positive";
+  let m = bins in
+  let step = buffer /. float_of_int m in
+  let len = m + 1 in
+  let build_fresh () = Array.init len (overflow_point t ~buffer ~step) in
+  match t.memo with
+  | None -> build_fresh ()
+  | Some memo ->
+      Mutex.lock memo.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock memo.lock)
+        (fun () ->
+          let om = memo.ov_m in
+          let same_buffer = om > 0 && memo.ov_buffer = buffer in
+          if same_buffer && om = m then (
+            Lrd_obs.Obs.Counter.add m_grid_reused len;
+            Array.copy memo.ov)
+          else if same_buffer && om mod m = 0 && is_pow2 (om / m) then (
+            let r = om / m in
+            Lrd_obs.Obs.Counter.add m_grid_reused len;
+            Array.init len (fun j -> memo.ov.(r * j)))
+          else
+            let a = Array.make len 0.0 in
+            let fresh = ref len in
+            (if same_buffer && m mod om = 0 && is_pow2 (m / om) then (
+               let r = m / om in
+               for j = 0 to om do
+                 a.(r * j) <- memo.ov.(j)
+               done;
+               fresh := len - (om + 1);
+               for j = 0 to m do
+                 if j mod r <> 0 then a.(j) <- overflow_point t ~buffer ~step j
+               done)
+             else
+               for j = 0 to m do
+                 a.(j) <- overflow_point t ~buffer ~step j
+               done);
+            Lrd_obs.Obs.Counter.add m_grid_fresh !fresh;
+            Lrd_obs.Obs.Counter.add m_grid_reused (len - !fresh);
+            memo.ov_buffer <- buffer;
+            memo.ov_m <- m;
+            memo.ov <- a;
+            Array.copy a)
 
 let loss_rate_of_occupancy t ~buffer ~occupancy_probs =
   let n = Array.length occupancy_probs in
@@ -180,13 +376,10 @@ let discretize t ~buffer ~bins =
   let d = buffer /. float_of_int m in
   let lower = Array.make ((2 * m) + 1) 0.0 in
   let upper = Array.make ((2 * m) + 1) 0.0 in
-  (* Precompute the survival functions on the grid once; each bin mass is
-     a difference of adjacent values (eqs. 21-22). *)
-  let ge = Array.init ((2 * m) + 1) (fun k ->
-      survival_ge t (float_of_int (k - m) *. d))
-  and gt = Array.init ((2 * m) + 1) (fun k ->
-      survival_gt t (float_of_int (k - m) *. d))
-  in
+  (* Precompute the survival functions on the grid once (one fused batch
+     pass, level-cached; see {!survival_grid}); each bin mass is a
+     difference of adjacent values (eqs. 21-22). *)
+  let ge, gt = survival_grid t ~buffer ~m in
   for k = 0 to 2 * m do
     let i = k - m in
     (* Floor chain, eq. 21. *)

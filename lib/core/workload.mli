@@ -16,16 +16,19 @@ type t
     discretization. *)
 
 val create : ?memoize:bool -> Model.t -> service_rate:float -> t
-(** [memoize] (default false) attaches mutex-guarded memo tables to the
-    survival-function evaluations behind [discretize] and
-    [expected_overflow].  Because a refinement level at [2 m] bins
-    evaluates a superset of its [m]-bin parent's points (the grid step
-    halves exactly in floating point), a memoizing workload re-quantizes
-    each new refinement level at roughly half cost; sharing one
-    memoizing workload across the cells of a sweep (see [Cache]) extends
-    the reuse across cells.  Memoization never changes any computed
-    value — only whether it is recomputed — and is safe to use from
-    several domains at once.
+(** [memoize] (default false) attaches mutex-guarded memo state to the
+    survival-function evaluations behind [discretize],
+    [overflow_table] and [expected_overflow]: scalar tables keyed by
+    evaluation point, plus whole-grid level caches for the batch
+    builders.  Because a refinement level at [2 m] bins evaluates a
+    superset of its [m]-bin parent's points (the grid step halves
+    exactly in floating point), a memoizing workload re-quantizes each
+    new refinement level at roughly half cost — and the batch builders
+    reuse the parent level wholesale, skipping per-point lookups;
+    sharing one memoizing workload across the cells of a sweep (see
+    [Cache]) extends the reuse across cells.  Memoization never changes
+    any computed value — only whether it is recomputed — and is safe to
+    use from several domains at once.
     @raise Invalid_argument unless the service rate is positive. *)
 
 val mean : t -> float
@@ -48,6 +51,18 @@ val expected_overflow : t -> buffer:float -> occupancy:float -> float
     after eq. 14, generalized to any interarrival law through its
     integrated survival function).
     @raise Invalid_argument unless [0 <= occupancy <= buffer]. *)
+
+val overflow_table : t -> buffer:float -> bins:int -> float array
+(** The solver's overflow table in one batch: entry [j] of the returned
+    [bins + 1]-length array is
+    [expected_overflow ~buffer ~occupancy:(min buffer (j *. d))] for
+    [d = buffer / bins], bitwise.  On a memoizing workload the finest
+    table computed for the buffer is cached, so each doubling of a
+    refinement chain only evaluates the new odd points and coarser
+    levels are answered by striding — without the per-point lock/lookup
+    cost of the scalar path.  The returned array is fresh; mutating it
+    never corrupts the cache.
+    @raise Invalid_argument unless buffer and bins are positive. *)
 
 val loss_rate_of_occupancy :
   t -> buffer:float -> occupancy_probs:float array -> float

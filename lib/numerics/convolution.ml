@@ -30,25 +30,34 @@ let direct_into a b ~dst =
       done
   done
 
+(* The smallest even fast size >= want whose half is also fast — what a
+   real-input transform of a linear convolution needs.  Every even fast
+   size is twice a fast size, so this is exact, and consecutive fast
+   sizes are within 25% of each other: near-power-of-two grids stop
+   paying the 2x power-of-two padding penalty. *)
+let real_transform_size_for want = 2 * Fft.good_size ((want + 1) / 2)
+
 let fft a b =
   let na = Array.length a and nb = Array.length b in
   if na = 0 || nb = 0 then [||]
   else begin
-    let n = Fft.next_power_of_two (na + nb - 1) in
-    let are = Array.make n 0.0 and aim = Array.make n 0.0 in
-    let bre = Array.make n 0.0 and bim = Array.make n 0.0 in
-    Array.blit a 0 are 0 na;
-    Array.blit b 0 bre 0 nb;
-    Fft.forward ~re:are ~im:aim;
-    Fft.forward ~re:bre ~im:bim;
-    for i = 0 to n - 1 do
+    let out_len = na + nb - 1 in
+    let n = real_transform_size_for out_len in
+    let rp = Fft.Real.cached_plan n in
+    let bins = Fft.Real.spectrum_length rp in
+    let are = Array.make bins 0.0 and aim = Array.make bins 0.0 in
+    let bre = Array.make bins 0.0 and bim = Array.make bins 0.0 in
+    Fft.Real.forward_ip rp ~signal:a ~len:na ~spec_re:are ~spec_im:aim;
+    Fft.Real.forward_ip rp ~signal:b ~len:nb ~spec_re:bre ~spec_im:bim;
+    for i = 0 to bins - 1 do
       let r = (are.(i) *. bre.(i)) -. (aim.(i) *. bim.(i)) in
       let im = (are.(i) *. bim.(i)) +. (aim.(i) *. bre.(i)) in
       are.(i) <- r;
       aim.(i) <- im
     done;
-    Fft.inverse ~re:are ~im:aim;
-    Array.sub are 0 (na + nb - 1)
+    let out = Array.make out_len 0.0 in
+    Fft.Real.inverse_ip rp ~spec_re:are ~spec_im:aim ~signal:out ~len:out_len;
+    out
   end
 
 (* The single crossover heuristic shared by [auto] and the solver
@@ -70,15 +79,16 @@ let prefer_fft ~na ~nb = na * nb > fft_product_threshold
    multiply-adds match a forward/inverse pair at size 128 (7 bits), so
    one transform point-bit costs threshold / (2 * 128 * 7) of them. *)
 let prefer_fft_fixed ~transform_size ~direct_ops =
-  if not (Fft.is_power_of_two transform_size) then
-    invalid_arg "Convolution.prefer_fft_fixed: size must be a power of two";
+  if transform_size <= 0 then
+    invalid_arg "Convolution.prefer_fft_fixed: size must be positive";
   let bits =
-    let b = ref 0 and v = ref transform_size in
-    while !v > 1 do
+    (* ceil log2: fast sizes sit between powers of two, so round up. *)
+    let b = ref 0 and v = ref 1 in
+    while !v < transform_size do
       incr b;
-      v := !v lsr 1
+      v := !v lsl 1
     done;
-    !b
+    max 1 !b
   in
   let transform_point_bits = float_of_int (2 * transform_size * bits) in
   float_of_int direct_ops
@@ -92,67 +102,110 @@ let auto a b =
   else direct a b
 
 (* ------------------------------------------------------------------ *)
-(* Planned convolution against a fixed kernel.
+(* Planned real convolution against a fixed kernel.
 
-   The plan owns the padded kernel spectrum, the FFT plan, and a pair
-   of scratch buffers, so [execute] performs no heap allocation in
-   steady state: blit the signal into the scratch, transform, multiply
-   by the kernel spectrum, transform back, copy the prefix out. *)
+   The plan owns the kernel's half-spectrum, a real-transform plan, and
+   half-spectrum scratch, so [execute] performs no heap allocation in
+   steady state: pack the (zero-extended) signal straight into the
+   half-size transform, multiply the n/2 + 1 independent bins in one
+   fused pass (conjugate symmetry makes the upper half free), and
+   interleave the inverse directly into [dst].
 
-type plan = {
+   A plan built with an explicit [size] smaller than the full linear
+   length computes CIRCULAR convolutions: the kernel is wrapped mod
+   [size] at build time, which is what the solver's aliased Lindley
+   step wants.  Such a plan refuses the linear [execute]. *)
+
+type real_plan = {
   kernel_len : int;
   max_signal : int;
-  n : int;
-  fft_plan : Fft.plan;
-  kre : float array;  (* kernel spectrum *)
+  n : int;  (* transform size *)
+  linear : bool;  (* n covers na + nk - 1: [execute] output is linear *)
+  rfft : Fft.Real.t;
+  kre : float array;  (* kernel half-spectrum, length n/2 + 1 *)
   kim : float array;
-  sre : float array;  (* scratch signal buffers, length n *)
+  sre : float array;  (* signal half-spectrum scratch *)
   sim : float array;
 }
 
-let make_plan ~kernel ~max_signal =
+type plan = real_plan
+
+let make_real_plan ?size ~kernel ~max_signal () =
   let nk = Array.length kernel in
   if nk = 0 then invalid_arg "Convolution.make_plan: empty kernel";
   if max_signal < 1 then invalid_arg "Convolution.make_plan: max_signal < 1";
-  let n = Fft.next_power_of_two (nk + max_signal - 1) in
-  let fft_plan = Fft.make_plan n in
-  let kre = Array.make n 0.0 and kim = Array.make n 0.0 in
-  Array.blit kernel 0 kre 0 nk;
-  Fft.forward_ip fft_plan ~re:kre ~im:kim;
+  let full = nk + max_signal - 1 in
+  let n = match size with None -> real_transform_size_for full | Some s -> s in
+  if n < max_signal then
+    invalid_arg "Convolution.make_real_plan: size smaller than max_signal";
+  let rfft = Fft.Real.make_plan n in
+  let bins = Fft.Real.spectrum_length rfft in
+  let kre = Array.make bins 0.0 and kim = Array.make bins 0.0 in
+  if nk <= n then
+    Fft.Real.forward_ip rfft ~signal:kernel ~len:nk ~spec_re:kre ~spec_im:kim
+  else begin
+    (* Circular plan shorter than the kernel: wrap the kernel mod n. *)
+    let wrapped = Array.make n 0.0 in
+    for i = 0 to nk - 1 do
+      let j = i mod n in
+      wrapped.(j) <- wrapped.(j) +. kernel.(i)
+    done;
+    Fft.Real.forward_ip rfft ~signal:wrapped ~len:n ~spec_re:kre ~spec_im:kim
+  end;
   {
     kernel_len = nk;
     max_signal;
     n;
-    fft_plan;
+    linear = n >= full;
+    rfft;
     kre;
     kim;
-    sre = Array.make n 0.0;
-    sim = Array.make n 0.0;
+    sre = Array.make bins 0.0;
+    sim = Array.make bins 0.0;
   }
+
+let make_plan ~kernel ~max_signal = make_real_plan ~kernel ~max_signal ()
+let real_transform_size plan = plan.n
+
+(* The fused half-spectrum pass shared by every execute flavor. *)
+let multiply_spectra plan =
+  let kre = plan.kre and kim = plan.kim in
+  let sre = plan.sre and sim = plan.sim in
+  for i = 0 to Array.length sre - 1 do
+    let ar = Array.unsafe_get sre i and ai = Array.unsafe_get sim i in
+    let br = Array.unsafe_get kre i and bi = Array.unsafe_get kim i in
+    Array.unsafe_set sre i ((ar *. br) -. (ai *. bi));
+    Array.unsafe_set sim i ((ar *. bi) +. (ai *. br))
+  done
 
 let execute plan a ~dst =
   let na = Array.length a in
   if na = 0 then invalid_arg "Convolution.execute: empty signal";
   if na > plan.max_signal then
     invalid_arg "Convolution.execute: signal longer than plan";
+  if not plan.linear then
+    invalid_arg "Convolution.execute: circular plan cannot produce linear output";
   let out_len = na + plan.kernel_len - 1 in
   if Array.length dst < out_len then
     invalid_arg "Convolution.execute: dst too short";
-  let n = plan.n in
-  let sre = plan.sre and sim = plan.sim in
-  Array.blit a 0 sre 0 na;
-  Array.fill sre na (n - na) 0.0;
-  Array.fill sim 0 n 0.0;
-  Fft.forward_ip plan.fft_plan ~re:sre ~im:sim;
-  let kre = plan.kre and kim = plan.kim in
-  for i = 0 to n - 1 do
-    let ar = Array.unsafe_get sre i and ai = Array.unsafe_get sim i in
-    let br = Array.unsafe_get kre i and bi = Array.unsafe_get kim i in
-    Array.unsafe_set sre i ((ar *. br) -. (ai *. bi));
-    Array.unsafe_set sim i ((ar *. bi) +. (ai *. br))
-  done;
-  Fft.inverse_ip plan.fft_plan ~re:sre ~im:sim;
-  Array.blit sre 0 dst 0 out_len
+  Fft.Real.forward_ip plan.rfft ~signal:a ~len:na ~spec_re:plan.sre
+    ~spec_im:plan.sim;
+  multiply_spectra plan;
+  Fft.Real.inverse_ip plan.rfft ~spec_re:plan.sre ~spec_im:plan.sim ~signal:dst
+    ~len:out_len
+
+let execute_real = execute
+
+let execute_real_circular plan ~signal ~len ~dst =
+  if len < 1 || len > plan.max_signal || len > plan.n then
+    invalid_arg "Convolution.execute_real_circular: bad signal length";
+  if Bigarray.Array1.dim dst < plan.n then
+    invalid_arg "Convolution.execute_real_circular: dst shorter than size";
+  Fft.Real.forward_big plan.rfft ~signal ~len ~spec_re:plan.sre
+    ~spec_im:plan.sim;
+  multiply_spectra plan;
+  Fft.Real.inverse_big plan.rfft ~spec_re:plan.sre ~spec_im:plan.sim
+    ~signal:dst ~len:plan.n
 
 let convolve_plan plan a =
   let na = Array.length a in
@@ -164,6 +217,30 @@ let convolve_plan plan a =
     execute plan a ~dst;
     dst
   end
+
+let convolve_real = convolve_plan
+
+(* Schoolbook convolution reading the signal from / writing into
+   Bigarray vectors — the solver's direct path over its unboxed state.
+   Allocation-free. *)
+let direct_into_big (signal : Fft.vec) ~len ~kernel ~(dst : Fft.vec) =
+  let nb = Array.length kernel in
+  if len = 0 || nb = 0 then invalid_arg "Convolution.direct_into_big: empty input";
+  let out_len = len + nb - 1 in
+  if Bigarray.Array1.dim dst < out_len then
+    invalid_arg "Convolution.direct_into_big: dst too short";
+  for i = 0 to out_len - 1 do
+    Bigarray.Array1.unsafe_set dst i 0.0
+  done;
+  for i = 0 to len - 1 do
+    let ai = Bigarray.Array1.unsafe_get signal i in
+    if ai <> 0.0 then
+      for j = 0 to nb - 1 do
+        let k = i + j in
+        Bigarray.Array1.unsafe_set dst k
+          (Bigarray.Array1.unsafe_get dst k +. (ai *. Array.unsafe_get kernel j))
+      done
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Dual-channel convolution.

@@ -84,11 +84,20 @@ let classify ~threshold ~min_abs base current =
       else if b > 0.0 && b > threshold *. c && b -. c >= min_abs then Improved
       else Changed
 
-let compare_values ?(threshold = 2.0) ?(min_abs = 0.0) base current =
+let contains ~sub s =
+  let ls = String.length s and lsub = String.length sub in
+  let rec go i = i + lsub <= ls && (String.sub s i lsub = sub || go (i + 1)) in
+  lsub = 0 || go 0
+
+let compare_values ?(threshold = 2.0) ?(min_abs = 0.0) ?filter base current =
   match (scalars base, scalars current) with
   | Error e, _ -> Error ("base: " ^ e)
   | _, Error e -> Error ("current: " ^ e)
   | Ok bs, Ok cs ->
+      let keep (name, _) =
+        match filter with None -> true | Some f -> contains ~sub:f name
+      in
+      let bs = List.filter keep bs and cs = List.filter keep cs in
       let names =
         List.sort_uniq String.compare (List.map fst bs @ List.map fst cs)
       in
@@ -157,7 +166,7 @@ let render report =
        report.regressions report.missing);
   Buffer.contents b
 
-let run ?threshold ?min_abs ~base ~current () =
+let run ?threshold ?min_abs ?filter ~base ~current () =
   let load label path =
     match Json.of_file path with
     | Ok v -> Ok v
@@ -168,7 +177,7 @@ let run ?threshold ?min_abs ~base ~current () =
       prerr_endline ("lrd metrics diff: " ^ e);
       2
   | Ok b, Ok c -> (
-      match compare_values ?threshold ?min_abs b c with
+      match compare_values ?threshold ?min_abs ?filter b c with
       | Error e ->
           prerr_endline ("lrd metrics diff: " ^ e);
           2

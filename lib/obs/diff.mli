@@ -47,17 +47,32 @@ val scalars : Json.t -> ((string * float) list, string) result
     formats.  [Error] when the format is not recognized. *)
 
 val compare_values :
-  ?threshold:float -> ?min_abs:float -> Json.t -> Json.t -> (report, string) result
+  ?threshold:float ->
+  ?min_abs:float ->
+  ?filter:string ->
+  Json.t ->
+  Json.t ->
+  (report, string) result
 (** [compare_values base current] with [threshold] defaulting to [2.0]
     (a >2x increase regresses) and [min_abs] to [0.] (any increase past
-    the ratio counts). *)
+    the ratio counts).  [filter] keeps only series whose name contains
+    the given substring — e.g. ["kernel/"] gates just the CPU
+    micro-kernels, which are stable enough for a hard CI check while
+    the solver cells stay warn-only. *)
 
 val render : report -> string
 (** A fixed-width text table (one row per changed/missing name, plus a
     summary line) — what [lrd metrics diff] prints. *)
 
 val run :
-  ?threshold:float -> ?min_abs:float -> base:string -> current:string -> unit -> int
+  ?threshold:float ->
+  ?min_abs:float ->
+  ?filter:string ->
+  base:string ->
+  current:string ->
+  unit ->
+  int
 (** Read the two files, print {!render} to stdout (or the error to
     stderr) and return the process exit code: [0] clean, [3] at least
-    one regression, [2] unreadable/unrecognized input. *)
+    one regression, [2] unreadable/unrecognized input.  [filter] as in
+    {!compare_values}. *)

@@ -4,17 +4,19 @@
     A plan for [(autocovariance, n)] precomputes everything that does
     not depend on the random draw: the circulant embedding of the
     covariance into size [m = next_pow2 (2 n)], its eigenvalues (one
-    FFT), the per-bin scale factors [sqrt (lambda_k / m)] /
-    [sqrt (lambda_k / 2m)], the FFT plan for size [m], and the complex
-    scratch pair.  {!draw} then costs one Gaussian fill plus ONE
-    in-place transform and allocates no arrays — against two transforms,
-    the eigenvalue setup and six fresh length-[m] arrays for every
-    unplanned call.
+    real transform), the per-bin scale factors [sqrt (lambda_k / m)] /
+    [sqrt (lambda_k / 2m)], the real-input plan for size [m], and the
+    half-spectrum scratch pair.  {!draw} then costs one Gaussian fill
+    plus ONE half-size complex transform
+    ({!Lrd_numerics.Fft.Real.synthesize_ip} of the Hermitian spectrum)
+    and allocates no arrays — against two full-size transforms, the
+    eigenvalue setup and six fresh length-[m] arrays for every unplanned
+    call.
 
     Determinism contract: a draw consumes exactly the same RNG stream,
-    in the same order, and performs bit-for-bit the same float
-    operations as the historical one-shot generators, so planned and
-    unplanned outputs are identical under equal RNG states (enforced by
+    in the same order, as the historical one-shot generators, and all
+    generator entry points (planned and unplanned) route through this
+    module, so outputs are identical under equal RNG states (enforced by
     the [test_trace] property tests).  Plans hold mutable scratch: share
     them across domains only through {!Lrd_parallel.Arena}. *)
 

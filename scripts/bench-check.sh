@@ -25,8 +25,14 @@ if ! grep -q '"name":.*"ns_per_run":' "$baseline"; then
   exit 2
 fi
 
-current="$(mktemp -t bench-check-current.XXXXXX.json)"
-trap 'rm -f "$current"' EXIT
+# BENCH_CURRENT_JSON lets CI keep the freshly measured run around for
+# follow-up diffs (the hard kernel-only gate) without re-benchmarking.
+if [ -n "${BENCH_CURRENT_JSON:-}" ]; then
+  current="$BENCH_CURRENT_JSON"
+else
+  current="$(mktemp -t bench-check-current.XXXXXX.json)"
+  trap 'rm -f "$current"' EXIT
+fi
 
 # The bench table goes to stderr so stdout carries only the diff report.
 dune exec bench/main.exe -- --micro --json "$current" "$@" 1>&2

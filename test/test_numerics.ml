@@ -570,6 +570,197 @@ let test_linalg_rejects_bad_shapes () =
       ignore (Linalg.solve [| [| 1.0; 2.0 |] |] [| 1.0 |]))
 
 (* ------------------------------------------------------------------ *)
+(* Real-input transforms and mixed-radix plan sizes *)
+
+(* Real plan sizes are [2 h] with [h] any fast size, so this list walks
+   every split shape: pure powers of two and the radix-3 / radix-5 /
+   radix-15 decimation towers. *)
+let real_sizes = [ 2; 4; 6; 8; 10; 12; 20; 24; 30; 48; 96; 120; 240; 480 ]
+
+let random_signal n =
+  Array.init n (fun _ -> (20.0 *. next_float ()) -. 10.0)
+
+let test_fast_size_helpers () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (string_of_int n) true (Fft.is_fast_size n))
+    [ 1; 2; 3; 4; 5; 6; 8; 15; 48; 60; 240; 960; 1536; 1920; 4096 ];
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (string_of_int n) false (Fft.is_fast_size n))
+    [ 0; -4; 7; 9; 11; 14; 21; 25; 45; 100 ];
+  List.iter
+    (fun n ->
+      let g = Fft.good_size n in
+      Alcotest.(check bool) "good_size is fast" true (Fft.is_fast_size g);
+      Alcotest.(check bool) "good_size >= n" true (g >= n))
+    [ 1; 2; 17; 100; 1000; 1025; 1537; 3000 ];
+  (* Cost-aware selection: just above 3 * 2^k the radix-3 grid wins, but
+     just above 15 * 2^(k-1) the next power of two beats the slower
+     15-smooth transform. *)
+  Alcotest.(check int) "good_size 1500" 1536 (Fft.good_size 1500);
+  Alcotest.(check int) "good_size 1025" 1280 (Fft.good_size 1025);
+  Alcotest.(check int) "good_size 1537" 2048 (Fft.good_size 1537)
+
+let test_any_plan_matches_naive () =
+  (* Mixed-radix and Bluestein sizes against the O(n^2) oracle. *)
+  List.iter
+    (fun n ->
+      let re = random_signal n and im = random_signal n in
+      let expect_re, expect_im = Fft.dft_naive ~re ~im in
+      let plan = Fft.make_any_plan n in
+      Fft.forward_ip plan ~re ~im;
+      for k = 0 to n - 1 do
+        check_close ~eps:1e-10 (Printf.sprintf "n=%d re k=%d" n k)
+          expect_re.(k) re.(k);
+        check_close ~eps:1e-10 (Printf.sprintf "n=%d im k=%d" n k)
+          expect_im.(k) im.(k)
+      done)
+    [ 3; 5; 6; 15; 30; 48; 60; 7; 11; 13; 100; 250 ]
+
+let test_real_forward_matches_naive () =
+  List.iter
+    (fun n ->
+      let x = random_signal n in
+      let fre, fim =
+        Fft.dft_naive ~re:(Array.copy x) ~im:(Array.make n 0.0)
+      in
+      let plan = Fft.Real.make_plan n in
+      let h = n / 2 in
+      let sre = Array.make (h + 1) nan and sim = Array.make (h + 1) nan in
+      Fft.Real.forward_ip plan ~signal:x ~len:n ~spec_re:sre ~spec_im:sim;
+      (* The O(n^2) oracle carries its own rounding, so the tolerance
+         scales with the signal mass rather than the bin value. *)
+      let eps =
+        1e-12 *. Array.fold_left (fun acc v -> acc +. Float.abs v) 1.0 x
+      in
+      for k = 0 to h do
+        check_close ~eps (Printf.sprintf "n=%d re k=%d" n k) fre.(k) sre.(k);
+        check_close ~eps (Printf.sprintf "n=%d im k=%d" n k) fim.(k) sim.(k)
+      done)
+    real_sizes
+
+let test_real_roundtrip_exact_sizes () =
+  List.iter
+    (fun n ->
+      let x = random_signal n in
+      let plan = Fft.Real.make_plan n in
+      let h = n / 2 in
+      let sre = Array.make (h + 1) 0.0 and sim = Array.make (h + 1) 0.0 in
+      Fft.Real.forward_ip plan ~signal:x ~len:n ~spec_re:sre ~spec_im:sim;
+      let back = Array.make n nan in
+      Fft.Real.inverse_ip plan ~spec_re:sre ~spec_im:sim ~signal:back ~len:n;
+      Array.iteri
+        (fun j v ->
+          check_close ~eps:1e-12 (Printf.sprintf "n=%d j=%d" n j) v back.(j))
+        x)
+    real_sizes
+
+let test_real_synthesize_matches_hermitian_sum () =
+  let n = 24 in
+  let h = n / 2 in
+  let sre = Array.init (h + 1) (fun _ -> next_float ()) in
+  let sim = Array.init (h + 1) (fun _ -> next_float ()) in
+  (* A Hermitian spectrum has real endpoint bins. *)
+  sim.(0) <- 0.0;
+  sim.(h) <- 0.0;
+  (* Oracle: y_j = sum_{k=0}^{n-1} X_k exp (-2 i pi j k / n) with the
+     upper half the conjugate mirror of the lower. *)
+  let expect =
+    Array.init n (fun j ->
+        let acc = ref 0.0 in
+        for k = 0 to n - 1 do
+          let xr, xi =
+            if k <= h then (sre.(k), sim.(k))
+            else (sre.(n - k), -.sim.(n - k))
+          in
+          let ang = -2.0 *. Float.pi *. float_of_int (j * k) /. float_of_int n in
+          acc := !acc +. (xr *. cos ang) -. (xi *. sin ang)
+        done;
+        !acc)
+  in
+  let plan = Fft.Real.make_plan n in
+  let y = Array.make n nan in
+  Fft.Real.synthesize_ip plan ~spec_re:sre ~spec_im:sim ~signal:y ~len:n;
+  Array.iteri
+    (fun j v -> check_close ~eps:1e-10 (Printf.sprintf "j=%d" j) v y.(j))
+    expect
+
+let test_real_plan_rejects_bad_input () =
+  let bad =
+    "Fft.Real.make_plan: size must be even with n/2 of the form \
+     2^a*{1,3,5,15}"
+  in
+  List.iter
+    (fun n ->
+      Alcotest.check_raises (string_of_int n) (Invalid_argument bad) (fun () ->
+          ignore (Fft.Real.make_plan n)))
+    [ 0; -2; 7; 14; 1500 ];
+  let plan = Fft.Real.make_plan 16 in
+  Alcotest.check_raises "short spectrum"
+    (Invalid_argument "Fft.Real: spectrum buffers shorter than n/2 + 1")
+    (fun () ->
+      Fft.Real.forward_ip plan ~signal:(Array.make 16 0.0) ~len:16
+        ~spec_re:(Array.make 8 0.0) ~spec_im:(Array.make 9 0.0));
+  Alcotest.check_raises "bad len"
+    (Invalid_argument "Fft.Real.forward_ip: bad len") (fun () ->
+      Fft.Real.forward_ip plan ~signal:(Array.make 32 0.0) ~len:17
+        ~spec_re:(Array.make 9 0.0) ~spec_im:(Array.make 9 0.0))
+
+let test_execute_real_circular_matches_wrapped_direct () =
+  let m = 8 in
+  let n = 2 * m in
+  let kernel = Array.init ((2 * m) + 1) (fun _ -> next_float ()) in
+  let signal = Array.init (m + 1) (fun _ -> next_float ()) in
+  let plan =
+    Convolution.make_real_plan ~size:n ~kernel ~max_signal:(m + 1) ()
+  in
+  let src = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  let dst = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  Bigarray.Array1.fill src 0.0;
+  Array.iteri (fun i v -> Bigarray.Array1.set src i v) signal;
+  Convolution.execute_real_circular plan ~signal:src ~len:(m + 1) ~dst;
+  (* Oracle: the linear convolution folded modulo n. *)
+  let linear = Convolution.direct signal kernel in
+  let expect = Array.make n 0.0 in
+  Array.iteri
+    (fun i v -> expect.(i mod n) <- expect.(i mod n) +. v)
+    linear;
+  for i = 0 to n - 1 do
+    check_close ~eps:1e-12 (Printf.sprintf "i=%d" i) expect.(i)
+      (Bigarray.Array1.get dst i)
+  done
+
+let test_real_convolution_no_allocation () =
+  (* The steady-state entry points must not touch the OCaml heap: one
+     real linear convolution and one circular one, measured after a
+     warmup round.  Bytecode boxes floats everywhere, so the pin only
+     holds on native builds. *)
+  if Sys.backend_type = Sys.Native then begin
+    let m = 16 in
+    let kernel = Array.init ((2 * m) + 1) (fun _ -> next_float ()) in
+    let signal = Array.init (m + 1) (fun _ -> next_float ()) in
+    let lin = Convolution.make_real_plan ~kernel ~max_signal:(m + 1) () in
+    let out = Array.make ((3 * m) + 1) 0.0 in
+    let circ =
+      Convolution.make_real_plan ~size:(2 * m) ~kernel ~max_signal:(m + 1) ()
+    in
+    let n = 2 * m in
+    let src = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+    let dst = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+    Bigarray.Array1.fill src 0.0;
+    Array.iteri (fun i v -> Bigarray.Array1.set src i v) signal;
+    Convolution.execute_real lin signal ~dst:out;
+    Convolution.execute_real_circular circ ~signal:src ~len:(m + 1) ~dst;
+    let before = Gc.minor_words () in
+    Convolution.execute_real lin signal ~dst:out;
+    Convolution.execute_real_circular circ ~signal:src ~len:(m + 1) ~dst;
+    let after = Gc.minor_words () in
+    Alcotest.(check (float 0.0))
+      "minor words allocated" 0.0 (after -. before)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Properties *)
 
 let prop_fft_roundtrip =
@@ -674,6 +865,54 @@ let prop_kahan_close_to_sorted_sum =
       Float.abs (Summation.kahan a -. reference)
       <= 1e-6 *. (1.0 +. Float.abs reference))
 
+(* Random real signals at a random plan size: the real engine must
+   round-trip and agree with the complex transform to near machine
+   precision across every split shape (pure pow2, radix-3/5/15). *)
+let rfft_size_gen = QCheck.oneofl real_sizes
+
+let prop_rfft_roundtrip =
+  QCheck.Test.make ~name:"real fft inverse . forward = id" ~count:60
+    QCheck.(
+      pair rfft_size_gen (list_of_size (Gen.return 480) (float_range (-100.0) 100.0)))
+    (fun (n, xs) ->
+      let data = Array.of_list xs in
+      let x = Array.sub data 0 n in
+      let plan = Fft.Real.make_plan n in
+      let h = n / 2 in
+      let sre = Array.make (h + 1) 0.0 and sim = Array.make (h + 1) 0.0 in
+      Fft.Real.forward_ip plan ~signal:x ~len:n ~spec_re:sre ~spec_im:sim;
+      let back = Array.make n nan in
+      Fft.Real.inverse_ip plan ~spec_re:sre ~spec_im:sim ~signal:back ~len:n;
+      Array.for_all2
+        (fun a b -> Float.abs (a -. b) <= 1e-12 *. (1.0 +. Float.abs a))
+        x back)
+
+let prop_rfft_matches_complex =
+  QCheck.Test.make ~name:"real fft matches complex fft on real input"
+    ~count:60
+    QCheck.(
+      pair rfft_size_gen (list_of_size (Gen.return 480) (float_range (-50.0) 50.0)))
+    (fun (n, xs) ->
+      let data = Array.of_list xs in
+      let x = Array.sub data 0 n in
+      let re = Array.copy x and im = Array.make n 0.0 in
+      Fft.forward_ip (Fft.make_any_plan n) ~re ~im;
+      let plan = Fft.Real.make_plan n in
+      let h = n / 2 in
+      let sre = Array.make (h + 1) 0.0 and sim = Array.make (h + 1) 0.0 in
+      Fft.Real.forward_ip plan ~signal:x ~len:n ~spec_re:sre ~spec_im:sim;
+      let scale =
+        Array.fold_left (fun acc v -> acc +. Float.abs v) 1.0 x
+      in
+      let ok = ref true in
+      for k = 0 to h do
+        if
+          Float.abs (sre.(k) -. re.(k)) > 1e-12 *. scale
+          || Float.abs (sim.(k) -. im.(k)) > 1e-12 *. scale
+        then ok := false
+      done;
+      !ok)
+
 let () =
   let qcheck = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "numerics"
@@ -694,6 +933,25 @@ let () =
           Alcotest.test_case "plan roundtrip" `Quick test_fft_plan_roundtrip;
           Alcotest.test_case "plan rejects bad input" `Quick
             test_fft_plan_rejects_bad_input;
+        ] );
+      ( "real fft",
+        [
+          Alcotest.test_case "fast-size helpers" `Quick
+            test_fast_size_helpers;
+          Alcotest.test_case "any-size plan matches naive DFT" `Quick
+            test_any_plan_matches_naive;
+          Alcotest.test_case "real forward matches naive DFT" `Quick
+            test_real_forward_matches_naive;
+          Alcotest.test_case "real roundtrip across split shapes" `Quick
+            test_real_roundtrip_exact_sizes;
+          Alcotest.test_case "synthesize matches Hermitian sum" `Quick
+            test_real_synthesize_matches_hermitian_sum;
+          Alcotest.test_case "real plan rejects bad input" `Quick
+            test_real_plan_rejects_bad_input;
+          Alcotest.test_case "circular real conv matches wrapped direct"
+            `Quick test_execute_real_circular_matches_wrapped_direct;
+          Alcotest.test_case "real conv entry points allocation-free"
+            `Quick test_real_convolution_no_allocation;
         ] );
       ( "convolution",
         [
@@ -806,5 +1064,7 @@ let () =
             prop_convolution_linear;
             prop_erf_monotone;
             prop_kahan_close_to_sorted_sum;
+            prop_rfft_roundtrip;
+            prop_rfft_matches_complex;
           ] );
     ]

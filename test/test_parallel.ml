@@ -268,7 +268,28 @@ let test_memoized_workload_identical () =
         true
         (a.Lrd_core.Workload.lower = b.Lrd_core.Workload.lower
         && a.Lrd_core.Workload.upper = b.Lrd_core.Workload.upper))
-    [ 16; 32; 64 ];
+    (* Doubling chain (refine reuse), a coarser revisit (stride reuse),
+       and a non-conforming level (fresh compute): every path of the
+       grid-level cache must stay bitwise equal to the plain workload. *)
+    [ 16; 32; 64; 16; 48 ];
+  List.iter
+    (fun bins ->
+      let a = Lrd_core.Workload.overflow_table plain ~buffer:0.7 ~bins in
+      let b = Lrd_core.Workload.overflow_table memo ~buffer:0.7 ~bins in
+      Alcotest.(check bool)
+        (Printf.sprintf "overflow_table %d identical" bins)
+        true (a = b);
+      (* And the batch table matches the scalar API entry for entry. *)
+      let step = 0.7 /. float_of_int bins in
+      Array.iteri
+        (fun j v ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "overflow_table %d entry %d" bins j)
+            (Lrd_core.Workload.expected_overflow plain ~buffer:0.7
+               ~occupancy:(Float.min 0.7 (float_of_int j *. step)))
+            v)
+        a)
+    [ 16; 32; 64; 16; 48 ];
   let xs = [| 0.0; 0.1; 0.35; 0.7 |] in
   Array.iter
     (fun occupancy ->
