@@ -11,10 +11,13 @@
    the paper's "runtime below a second on a workstation" claim is
    checkable.
 
-   [--scaling] times one full figure sweep (fig12) sequentially and on
-   domain pools of increasing size, reporting wall-clock seconds and
-   speedup relative to the sequential run; [--json FILE] writes the rows
-   (the BENCH_scaling.json trajectory).
+   [--scaling] times full figure sweeps (fig12 by default; --only picks
+   from fig4/fig12/fig13) sequentially and on domain pools of
+   increasing size, reporting wall-clock seconds and speedup relative
+   to the sequential run; [--json FILE] writes the rows (the
+   BENCH_scaling.json trajectory).  The heap is compacted before every
+   timed cell so one pool size's GC debt never lands in another's
+   measurement.
 
    Options:
      --quick       small traces and coarse grids (used by CI); in micro
@@ -312,7 +315,64 @@ let micro_tests ctx =
           ignore (Lrd_baselines.Ams.overflow_probability sys ~level:2.0));
     ]
   in
+  (* Whole-surface sweep pair: the fig12 grid solved cold cell by cell
+     (the classic sweep) versus through the gap-driven scheduler with
+     neighbour warm-starts, at the same uniform 20% gap target.  CI's
+     perf gate watches this pair — the scheduler must stay well ahead
+     of the uniform baseline (see EXPERIMENTS.md).  Each variant owns
+     its model cache so workload construction amortizes identically on
+     both sides and the timed difference is solver iterations. *)
+  let sweep_quick = Data.quick ctx in
+  let sweep_buffers = Sweep.buffers ~quick:sweep_quick ~max_seconds:5.0 () in
+  let sweep_scalings = Sweep.scalings ~quick:sweep_quick () in
+  let sweep_params = Data.solver_params ctx in
+  let sweep_marginal = Data.mtv_marginal ctx in
+  let sweep_theta = Data.mtv_theta ctx in
+  let sweep_model cache a =
+    Lrd_core.Workload.Cache.model cache ~key:(Sweep.cell_key a) (fun () ->
+        let marginal =
+          Lrd_dist.Marginal.scale ~clamp:true sweep_marginal ~factor:a
+        in
+        Lrd_core.Model.of_hurst ~marginal ~hurst:Data.mtv_hurst
+          ~theta:sweep_theta ~cutoff:Float.infinity)
+  in
+  let sweep_bc_marginal = Data.bc_marginal ctx in
+  let sweep_bc_theta = Data.bc_theta ctx in
+  let sweep_bc_model cache a =
+    Lrd_core.Workload.Cache.model cache ~key:(Sweep.cell_key a) (fun () ->
+        let marginal =
+          Lrd_dist.Marginal.scale ~clamp:true sweep_bc_marginal ~factor:a
+        in
+        Lrd_core.Model.of_hurst ~marginal ~hurst:Data.bc_hurst
+          ~theta:sweep_bc_theta ~cutoff:Float.infinity)
+  in
+  let sweep_pair name model_of utilization =
+    let uniform_cache = Lrd_core.Workload.Cache.create () in
+    let sched_cache = Lrd_core.Workload.Cache.create () in
+    [
+      mk (Printf.sprintf "sweep/%s-uniform" name) (fun () ->
+          ignore
+            (Sweep.surface ~xs:sweep_scalings ~ys:sweep_buffers
+               ~f:(fun ~x:a ~y:buffer_seconds ->
+                 (Lrd_core.Solver.solve_utilization ~params:sweep_params
+                    ~cache:(uniform_cache, Sweep.cell_key a)
+                    (model_of uniform_cache a) ~utilization ~buffer_seconds)
+                   .Lrd_core.Solver.loss)
+               ()));
+      mk (Printf.sprintf "sweep/%s-scheduled" name) (fun () ->
+          ignore
+            (Sweep.scheduled_surface ~xs:sweep_scalings ~ys:sweep_buffers
+               ~state:(fun a buffer_seconds ->
+                 Lrd_core.Solver.State.create_utilization
+                   ~params:sweep_params
+                   ~cache:(sched_cache, Sweep.cell_key a)
+                   (model_of sched_cache a) ~utilization ~buffer_seconds)
+               ()));
+    ]
+  in
   figure_tests @ kernel_tests
+  @ sweep_pair "fig12" sweep_model Data.mtv_utilization
+  @ sweep_pair "fig13" sweep_bc_model Data.bc_utilization
 
 let emit_json oc rows =
   let last = List.length rows - 1 in
@@ -402,6 +462,21 @@ let check_against_baseline ~file rows =
       !regressions tolerance;
   !regressions
 
+(* --only filters the micro suite and the scaling figure list
+   (substring match, so "--only kernel/whittle" selects the
+   planned/one-shot pair and "--only fig13" picks the Bellcore
+   surface). *)
+let selected name =
+  !only = []
+  || List.exists
+       (fun id ->
+         let idl = String.length id and nl = String.length name in
+         let rec at i =
+           i + idl <= nl && (String.sub name i idl = id || at (i + 1))
+         in
+         at 0)
+       !only
+
 let run_micro ~json ctx =
   let open Bechamel in
   let open Toolkit in
@@ -419,17 +494,6 @@ let run_micro ~json ctx =
      independent; rebuilding it per test was pure overhead). *)
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
-  in
-  (* --only also filters the micro suite (substring match, so
-     "--only kernel/whittle" selects the planned/one-shot pair). *)
-  let selected name =
-    !only = []
-    || List.exists
-         (fun id ->
-           let idl = String.length id and nl = String.length name in
-           let rec at i = i + idl <= nl && (String.sub name i idl = id || at (i + 1)) in
-           at 0)
-         !only
   in
   let tests =
     List.filter (fun (name, _) -> selected name) (micro_tests ctx)
@@ -471,14 +535,14 @@ let run_micro ~json ctx =
           if samples >= min_samples || retries = 0 then (ns, samples)
           else go (quota *. 4.0) (retries - 1)
         in
-        let ns, samples = go base_quota 2 in
+        let ns, samples = go base_quota 3 in
         (* Flush per test so a partial table survives interrupts. *)
         Printf.printf "%-32s %14.0f %10d\n%!" name ns samples;
         (name, ns, samples))
       tests
   in
-  (* Anything still under the floor after two quota escalations (16x the
-     base time budget) is genuinely too slow for this harness; flag it
+  (* Anything still under the floor after three quota escalations (64x
+     the base time budget) is genuinely too slow for this harness; flag it
      rather than let a noisy ns/run pass as a measurement. *)
   List.iter
     (fun (name, _, samples) ->
@@ -506,48 +570,71 @@ let run_micro ~json ctx =
    trace ingredients forced outside the timed region so only the sweep
    itself is measured. *)
 
-let time_fig12 ~jobs =
+(* Figures a scaling run can time; --only (substring match) picks a
+   subset, the default is the classic fig12 trajectory so the committed
+   BENCH_scaling.json stays comparable across runs. *)
+let scaling_figures =
+  [
+    ("fig4", fun ctx -> ignore (Fig04.compute ctx));
+    ("fig12", fun ctx -> ignore (Fig12.compute ctx));
+    ("fig13", fun ctx -> ignore (Fig13.compute ctx));
+  ]
+
+let time_figure ~jobs run =
   let ctx = Data.create ~jobs ~quick:!quick () in
   Fun.protect
     ~finally:(fun () -> Data.teardown ctx)
     (fun () ->
       ignore (Data.mtv_marginal ctx);
       ignore (Data.mtv_theta ctx);
+      ignore (Data.bc_marginal ctx);
+      ignore (Data.bc_theta ctx);
+      (* Start every cell from a settled heap, for the same reason the
+         micro suite compacts before each benchmark: without this the
+         first pool sizes' major-GC debt is paid inside a later cell's
+         timed region and the "speedup" column moves with run order. *)
+      Gc.compact ();
       let t0 = Unix.gettimeofday () in
-      ignore (Fig12.compute ctx);
+      run ctx;
       Unix.gettimeofday () -. t0)
 
 let run_scaling ~json () =
   let jobs_list = [ 1; 2; 4; 8 ] in
-  Printf.printf "domain scaling on fig12 (%s grids, machine has %d cores)\n%!"
-    (if !quick then "quick" else "full")
-    (Domain.recommended_domain_count ());
-  Printf.printf "%8s %12s %10s\n%!" "jobs" "seconds" "speedup";
-  let rows =
-    List.map
-      (fun jobs ->
-        let seconds = time_fig12 ~jobs in
-        (jobs, seconds))
-      jobs_list
+  let figures =
+    if !only = [] then
+      List.filter (fun (name, _) -> name = "fig12") scaling_figures
+    else List.filter (fun (name, _) -> selected name) scaling_figures
   in
-  let baseline = match rows with (_, s) :: _ -> s | [] -> Float.nan in
   let rows =
-    List.map (fun (jobs, seconds) -> (jobs, seconds, baseline /. seconds)) rows
+    List.concat_map
+      (fun (figure, run) ->
+        Printf.printf
+          "domain scaling on %s (%s grids, machine has %d cores)\n%!" figure
+          (if !quick then "quick" else "full")
+          (Domain.recommended_domain_count ());
+        Printf.printf "%8s %12s %10s\n%!" "jobs" "seconds" "speedup";
+        let timed =
+          List.map (fun jobs -> (jobs, time_figure ~jobs run)) jobs_list
+        in
+        let baseline = match timed with (_, s) :: _ -> s | [] -> Float.nan in
+        List.map
+          (fun (jobs, seconds) ->
+            let speedup = baseline /. seconds in
+            Printf.printf "%8d %12.3f %10.2f\n%!" jobs seconds speedup;
+            (figure, jobs, seconds, speedup))
+          timed)
+      figures
   in
-  List.iter
-    (fun (jobs, seconds, speedup) ->
-      Printf.printf "%8d %12.3f %10.2f\n%!" jobs seconds speedup)
-    rows;
   if json <> "" then begin
     let oc = open_out json in
     let last = List.length rows - 1 in
     output_string oc "[\n";
     List.iteri
-      (fun i (jobs, seconds, speedup) ->
+      (fun i (figure, jobs, seconds, speedup) ->
         Printf.fprintf oc
-          "  {\"figure\": \"fig12\", \"jobs\": %d, \"seconds\": %.3f, \
+          "  {\"figure\": %S, \"jobs\": %d, \"seconds\": %.3f, \
            \"speedup\": %.3f}%s\n"
-          jobs seconds speedup
+          figure jobs seconds speedup
           (if i = last then "" else ","))
       rows;
     output_string oc "]\n";

@@ -636,6 +636,33 @@ let experiment_cmd =
                identical for every value." in
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
+  let gap_policy_arg =
+    let doc =
+      "Error-budget policy for the scheduled figure sweeps: \
+       $(b,uniform) converges every grid cell to the solver's own 20% \
+       gap target; $(b,contrast) (or $(b,contrast:D)) stops refining a \
+       cell once its certified upper bound sits D decades (default 2) \
+       below the largest lower bound on the surface, where it can no \
+       longer change the plotted contrast.  Either way every reported \
+       bound stays certified."
+    in
+    Arg.(
+      value
+      & opt string "uniform"
+      & info [ "gap-policy" ] ~docv:"POLICY" ~doc)
+  in
+  let iteration_budget_arg =
+    let doc =
+      "Hard cap on the total chain iterations each figure surface may \
+       spend; when it runs out, remaining cells report their latest \
+       certified (possibly loose) bounds.  Composes with \
+       $(b,--gap-policy)."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "iteration-budget" ] ~docv:"N" ~doc)
+  in
   let manifest_arg =
     let doc =
       "Write a run provenance manifest to $(docv): the figure ids run, \
@@ -647,11 +674,47 @@ let experiment_cmd =
     in
     Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE" ~doc)
   in
-  let run quick seed jobs metrics metrics_out trace_out manifest ids =
+  let parse_gap_policy s iteration_budget =
+    let contrast d =
+      Ok
+        {
+          Lrd_experiments.Sweep.contrast_decades = Some d;
+          iteration_budget;
+        }
+    in
+    match String.lowercase_ascii s with
+    | "uniform" ->
+        Ok { Lrd_experiments.Sweep.contrast_decades = None; iteration_budget }
+    | "contrast" -> contrast 2.0
+    | other -> (
+        match String.index_opt other ':' with
+        | Some i when String.sub other 0 i = "contrast" -> (
+            let rest = String.sub other (i + 1) (String.length other - i - 1) in
+            match float_of_string_opt rest with
+            | Some d when d > 0.0 && Float.is_finite d -> contrast d
+            | _ ->
+                Error
+                  (Printf.sprintf
+                     "--gap-policy contrast:D needs a positive finite D, got \
+                      %S" rest))
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "unknown --gap-policy %S (expected uniform, contrast or \
+                  contrast:D)" s))
+  in
+  let run quick seed jobs gap_policy iteration_budget metrics metrics_out
+      trace_out manifest ids =
     with_telemetry ?trace_out metrics metrics_out @@ fun () ->
     match
-      try Ok (Lrd_experiments.Data.create ~seed ~jobs ~quick ())
-      with Invalid_argument msg -> Error msg
+      match parse_gap_policy gap_policy iteration_budget with
+      | Error _ as e -> e
+      | Ok policy -> (
+          try
+            Ok
+              (Lrd_experiments.Data.create ~seed ~jobs ~gap_policy:policy
+                 ~quick ())
+          with Invalid_argument msg -> Error msg)
     with
     | Error msg -> `Error (false, msg)
     | Ok ctx ->
@@ -681,8 +744,8 @@ let experiment_cmd =
   Cmd.v (Cmd.info "experiment" ~doc)
     Term.(
       ret
-        (const run $ quick_arg $ seed_arg $ jobs_arg $ metrics_format_arg
-       $ metrics_out_arg
+        (const run $ quick_arg $ seed_arg $ jobs_arg $ gap_policy_arg
+       $ iteration_budget_arg $ metrics_format_arg $ metrics_out_arg
        $ trace_out_arg [ "trace"; "trace-out" ]
        $ manifest_arg $ ids_arg))
 

@@ -436,164 +436,418 @@ let mean_virtual_delay occ ~service_rate =
   let lo, hi = mean_occupancy occ in
   (lo /. service_rate, hi /. service_rate)
 
-let solve_detailed_impl ?(params = default_params) ?cache model ~service_rate
-    ~buffer =
-  if not (service_rate > 0.0) then
-    invalid_arg "Solver.solve: service rate must be positive";
-  if not (buffer >= 0.0) then
-    invalid_arg "Solver.solve: buffer must be nonnegative";
-  let workload =
-    match cache with
-    | Some (cache, key) -> Workload.Cache.workload cache ~key model ~service_rate
-    | None ->
-        (* Memoization still pays within a single solve: every grid
-           refinement re-evaluates the survival functions on a superset
-           of the coarser grid's points. *)
-        Workload.create ~memoize:true model ~service_rate
-  in
-  let norm =
-    Model.mean_rate model *. model.Model.interarrival.Lrd_dist.Interarrival.mean
-  in
-  if buffer = 0.0 then begin
-    let loss = Workload.zero_buffer_loss workload in
-    ( {
-        loss;
-        lower_bound = loss;
-        upper_bound = loss;
-        iterations = 0;
-        bins = 0;
-        refinements = 0;
-        converged = true;
-      },
-      point_mass_occupancy )
-  end
-  else if Workload.max_increment workload <= 0.0 then
-    (* No rate ever exceeds the service rate: the queue never grows. *)
-    ( {
-        loss = 0.0;
-        lower_bound = 0.0;
-        upper_bound = 0.0;
-        iterations = 0;
-        bins = params.initial_bins;
-        refinements = 0;
-        converged = true;
-      },
-      point_mass_occupancy )
-  else begin
-    let ws =
-      ref
-        (Workspace.make ~convolution:params.convolution workload ~buffer
-           ~m:params.initial_bins)
+(* ------------------------------------------------------------------ *)
+(* Resumable solver state.
+
+   [State] is the solve loop turned inside out: the same iterate /
+   check / refine sequence as the classic [solve], but driven by
+   [advance ~iterations] slices so a sweep scheduler can suspend a
+   partially-converged cell and resume it later — on any domain —
+   bitwise-identically to an uninterrupted run.  The invariant that
+   makes slicing exact: bounds are evaluated after every
+   [check_every]-th chain step (or at the iteration budget), regardless
+   of how the steps were grouped into [advance] calls, so the sequence
+   of (step, check, refine) events is a function of the total iteration
+   count only.  [solve] itself is implemented on top of [State], which
+   makes the equivalence hold by construction. *)
+
+module State = struct
+  type t = {
+    params : params;
+    workload : Workload.t;
+    norm : float;
+    buffer : float;
+    trace_levels : bool;
+        (* Emit solver/level begin/end slices (balanced B/E pairs).
+           Only safe when every advance of this state runs on one
+           domain — true for [solve], false for scheduled sweeps whose
+           slices migrate between pool workers. *)
+    trivial : (result * occupancy) option;
+    mutable ws : Workspace.t option;  (* built lazily on first advance *)
+    mutable iterations : int;
+    mutable refinements : int;
+    mutable since_check : int;  (* chain steps since the last check *)
+    mutable prev_lower : float;  (* bounds at the previous check (nan *)
+    mutable prev_upper : float;  (* right after create / refine) *)
+    mutable lower : float;  (* bounds at the latest check; nan before *)
+    mutable upper : float;  (* the first one *)
+    mutable finished : bool;
+    mutable converged : bool;
+    mutable warm_started : bool;
+  }
+
+  let create ?(params = default_params) ?cache ?(trace_levels = false) model
+      ~service_rate ~buffer =
+    if not (service_rate > 0.0) then
+      invalid_arg "Solver.solve: service rate must be positive";
+    if not (buffer >= 0.0) then
+      invalid_arg "Solver.solve: buffer must be nonnegative";
+    Obs.Counter.incr m_solves;
+    let workload =
+      match cache with
+      | Some (cache, key) ->
+          Workload.Cache.workload cache ~key model ~service_rate
+      | None ->
+          (* Memoization still pays within a single solve: every grid
+             refinement re-evaluates the survival functions on a
+             superset of the coarser grid's points. *)
+          Workload.create ~memoize:true model ~service_rate
     in
-    (* Trace granularity mirrors the metric granularity: one slice per
-       resolution level plus refinement instants — never per check
-       period, which would flood the ring on 200k-iteration solves. *)
-    if Obs.Trace.enabled () then
-      Obs.Trace.begin_ ~arg:params.initial_bins "solver/level";
-    let iterations = ref 0 and refinements = ref 0 in
-    let prev_lower = ref Float.nan and prev_upper = ref Float.nan in
-    let finish ~converged ~lo ~hi =
-      if Obs.Trace.enabled () then
-        Obs.Trace.end_ ~arg:(Workspace.bins !ws) "solver/level";
-      if not converged then Obs.Counter.incr m_budget_exhausted;
-      ( {
+    let norm =
+      Model.mean_rate model
+      *. model.Model.interarrival.Lrd_dist.Interarrival.mean
+    in
+    let trivial =
+      if buffer = 0.0 then begin
+        let loss = Workload.zero_buffer_loss workload in
+        Some
+          ( {
+              loss;
+              lower_bound = loss;
+              upper_bound = loss;
+              iterations = 0;
+              bins = 0;
+              refinements = 0;
+              converged = true;
+            },
+            point_mass_occupancy )
+      end
+      else if Workload.max_increment workload <= 0.0 then
+        (* No rate ever exceeds the service rate: the queue never
+           grows. *)
+        Some
+          ( {
+              loss = 0.0;
+              lower_bound = 0.0;
+              upper_bound = 0.0;
+              iterations = 0;
+              bins = params.initial_bins;
+              refinements = 0;
+              converged = true;
+            },
+            point_mass_occupancy )
+      else None
+    in
+    {
+      params;
+      workload;
+      norm;
+      buffer;
+      trace_levels;
+      trivial;
+      ws = None;
+      iterations = 0;
+      refinements = 0;
+      since_check = 0;
+      prev_lower = Float.nan;
+      prev_upper = Float.nan;
+      lower = Float.nan;
+      upper = Float.nan;
+      finished = trivial <> None;
+      converged = trivial <> None;
+      warm_started = false;
+    }
+
+  let create_utilization ?params ?cache ?trace_levels model ~utilization
+      ~buffer_seconds =
+    let c = Model.service_rate_for_utilization model ~utilization in
+    create ?params ?cache ?trace_levels model ~service_rate:c
+      ~buffer:(buffer_seconds *. c)
+
+  let finished t = t.finished
+  let converged t = t.converged
+  let iterations t = t.iterations
+  let refinements t = t.refinements
+  let warm_started t = t.warm_started
+
+  let bins t =
+    match t.trivial with
+    | Some (r, _) -> r.bins
+    | None -> (
+        match t.ws with
+        | Some ws -> Workspace.bins ws
+        | None -> t.params.initial_bins)
+
+  let bounds t =
+    match t.trivial with
+    | Some (r, _) -> (r.lower_bound, r.upper_bound)
+    | None -> (t.lower, t.upper)
+
+  (* Relative bound gap at the latest check — the scheduler's priority.
+     Infinite before the first check, so fresh cells are always
+     scheduled; 0 once the loss is known negligible. *)
+  let gap_rel t =
+    match t.trivial with
+    | Some _ -> 0.0
+    | None ->
+        if Float.is_nan t.lower then Float.infinity
+        else if t.upper < t.params.negligible_loss then 0.0
+        else begin
+          let mid = (t.lower +. t.upper) /. 2.0 in
+          if mid > 0.0 then (t.upper -. t.lower) /. mid else 0.0
+        end
+
+  let ensure_ws t =
+    match t.ws with
+    | Some ws -> ws
+    | None ->
+        let ws =
+          Workspace.make ~convolution:t.params.convolution t.workload
+            ~buffer:t.buffer ~m:t.params.initial_bins
+        in
+        (* Trace granularity mirrors the metric granularity: one slice
+           per resolution level plus refinement instants — never per
+           check period, which would flood the ring on 200k-iteration
+           solves. *)
+        if t.trace_levels && Obs.Trace.enabled () then
+          Obs.Trace.begin_ ~arg:t.params.initial_bins "solver/level";
+        t.ws <- Some ws;
+        ws
+
+  let finish t ~converged ~lo ~hi =
+    if t.trace_levels && Obs.Trace.enabled () then
+      Obs.Trace.end_ ~arg:(bins t) "solver/level";
+    if not converged then Obs.Counter.incr m_budget_exhausted;
+    t.lower <- lo;
+    t.upper <- hi;
+    t.finished <- true;
+    t.converged <- converged
+
+  let plateaued t previous current =
+    Float.is_finite previous
+    && Float.abs (previous -. current)
+       <= t.params.stall_factor *. Float.max previous 1e-300
+
+  let check t ws =
+    let lo, hi = Workspace.losses ws ~norm:t.norm in
+    let gap = hi -. lo in
+    let mid = (hi +. lo) /. 2.0 in
+    Log.debug (fun f ->
+        f "n=%d m=%d lower=%.4g upper=%.4g" t.iterations (Workspace.bins ws)
+          lo hi);
+    if Obs.enabled () then begin
+      Obs.Counter.add m_iterations t.since_check;
+      let rel = if mid > 0.0 then gap /. mid else 0.0 in
+      Obs.Trajectory.record m_gap_trajectory rel;
+      Obs.Gauge.set m_last_gap rel
+    end;
+    t.since_check <- 0;
+    t.lower <- lo;
+    t.upper <- hi;
+    (* A warm-started chain approaches its stationary value from an
+       arbitrary side, so a transiently narrow gap (or transiently tiny
+       upper bound) proves nothing.  Accept a convergence criterion only
+       once both chains have ALSO plateaued — i.e. they sit at their
+       stationary values to within [stall_factor], where the floor /
+       ceiling losses are certified bounds regardless of the initial
+       state.  Cold chains approach monotonically (Proposition II.1),
+       so [settled] is identically true for them and the classic
+       stopping protocol is unchanged bit for bit. *)
+    let settled =
+      (not t.warm_started)
+      || (plateaued t t.prev_lower lo && plateaued t t.prev_upper hi)
+    in
+    if hi < t.params.negligible_loss && settled then
+      finish t ~converged:true ~lo ~hi
+    else if gap <= t.params.tolerance *. mid && settled then
+      finish t ~converged:true ~lo ~hi
+    else if t.iterations >= t.params.max_iterations then
+      finish t ~converged:false ~lo ~hi
+    else begin
+      (* Refine only when BOTH chains have individually plateaued:
+         while a chain is still mixing toward its stationary value
+         (e.g. the ceiling chain draining a deep buffer), iterating at
+         the current resolution is cheap and refinement buys nothing. *)
+      let stalled =
+        plateaued t t.prev_lower lo && plateaued t t.prev_upper hi
+      in
+      t.prev_lower <- lo;
+      t.prev_upper <- hi;
+      if stalled then begin
+        let m = Workspace.bins ws in
+        if m * 2 <= t.params.max_bins then begin
+          Log.debug (fun f -> f "refining grid to m=%d" (m * 2));
+          let next =
+            Workspace.make ~convolution:t.params.convolution t.workload
+              ~buffer:t.buffer ~m:(m * 2)
+          in
+          Obs.Counter.incr m_refinements;
+          if Obs.Trace.enabled () then begin
+            if t.trace_levels then Obs.Trace.end_ ~arg:m "solver/level";
+            Obs.Trace.instant ~arg:(m * 2) "solver/refine"
+          end;
+          if t.params.warm_restart then begin
+            Obs.Counter.incr m_warm_restarts;
+            if Obs.Trace.enabled () then
+              Obs.Trace.instant ~arg:(m * 2) "solver/warm_restart";
+            Workspace.refine_from ~src:ws next
+          end;
+          if t.trace_levels && Obs.Trace.enabled () then
+            Obs.Trace.begin_ ~arg:(m * 2) "solver/level";
+          t.ws <- Some next;
+          t.refinements <- t.refinements + 1;
+          t.prev_lower <- Float.nan;
+          t.prev_upper <- Float.nan
+        end
+        else
+          (* Both chains have plateaued at the finest allowed grid:
+             further iteration cannot close the gap.  Return the
+             certified (if loose) bounds rather than burning the
+             whole iteration budget at the most expensive level. *)
+          finish t ~converged:false ~lo ~hi
+      end
+    end
+
+  let advance t ~iterations:n =
+    if n < 0 then
+      invalid_arg "Solver.State.advance: iterations must be nonnegative";
+    if t.trivial = None && not t.finished then begin
+      let ws = ref (ensure_ws t) in
+      let remaining = ref n in
+      while !remaining > 0 && not t.finished do
+        (* Next event boundary: the end of the current check period or
+           the iteration budget, whichever comes first.  Both exceed
+           the current position while the state is unfinished, so
+           [steps >= 1] and the loop always progresses. *)
+        let to_check = t.params.check_every - t.since_check in
+        let to_budget = t.params.max_iterations - t.iterations in
+        let steps = min (min to_check to_budget) !remaining in
+        for _ = 1 to steps do
+          Workspace.step !ws
+        done;
+        t.iterations <- t.iterations + steps;
+        t.since_check <- t.since_check + steps;
+        remaining := !remaining - steps;
+        if
+          t.since_check >= t.params.check_every
+          || t.iterations >= t.params.max_iterations
+        then begin
+          check t !ws;
+          (* [check] may have refined onto a new workspace. *)
+          match t.ws with Some w -> ws := w | None -> ()
+        end
+      done
+    end
+
+  let run t =
+    while not t.finished do
+      advance t ~iterations:t.params.check_every
+    done
+
+  (* Flush the partial check period's iteration count so sweep counters
+     stay exact, then evaluate bounds if this state never reached a
+     check (the initial floor/ceiling states are themselves certified,
+     if vacuous, bounds). *)
+  let stop t =
+    if not t.finished then begin
+      if Obs.enabled () && t.since_check > 0 then
+        Obs.Counter.add m_iterations t.since_check;
+      t.since_check <- 0;
+      if Float.is_nan t.lower then begin
+        let ws = ensure_ws t in
+        let lo, hi = Workspace.losses ws ~norm:t.norm in
+        t.lower <- lo;
+        t.upper <- hi
+      end;
+      if t.trace_levels && Obs.Trace.enabled () then
+        Obs.Trace.end_ ~arg:(bins t) "solver/level";
+      t.finished <- true
+    end
+
+  (* A seed is accepted when the neighbour's buffer agrees within this
+     relative tolerance.  The pmfs are only an initial condition — the
+     plateau guard in [check] provides certification for ANY starting
+     state — so a near-coincident grid (e.g. a mean-preserving marginal
+     scaling whose zero-clamp shifted the service rate a few percent,
+     as Bellcore's fig13 columns do) still yields a useful seed; past a
+     quarter or so the neighbour's occupancy shape is no longer worth
+     adopting over the coarse-to-fine ladder. *)
+  let seed_buffer_rel_tolerance = 0.25
+
+  (* Warm start: adopt a converged neighbour's occupancy pmfs (and its
+     final resolution) as this cell's initial condition, skipping both
+     the refinement ladder and most of the mixing time.  The pmf vector
+     is reinterpreted on [t]'s own grid — the same bin count, a grid
+     step within [seed_buffer_rel_tolerance] — which is safe because
+     the seed carries no bound semantics: the [check]-time plateau
+     guard is what keeps the reported bounds certified despite the
+     foreign initial state.  Returns [false] (leaving the state
+     untouched, cold) whenever the grids are incompatible. *)
+  let seed_from ~src t =
+    match (src.trivial, t.trivial, src.ws) with
+    | None, None, Some sws
+      when (not t.finished)
+           && t.iterations = 0
+           && Float.abs (t.buffer -. src.buffer)
+              <= seed_buffer_rel_tolerance
+                 *. Float.max (Float.abs t.buffer) (Float.abs src.buffer)
+           && Workspace.bins sws <= t.params.max_bins ->
+        let m = Workspace.bins sws in
+        let ws =
+          match t.ws with
+          | Some w when Workspace.bins w = m -> w
+          | _ ->
+              Workspace.make ~convolution:t.params.convolution t.workload
+                ~buffer:t.buffer ~m
+        in
+        Bigarray.Array1.blit sws.Workspace.lower_q ws.Workspace.lower_q;
+        Bigarray.Array1.blit sws.Workspace.upper_q ws.Workspace.upper_q;
+        t.ws <- Some ws;
+        t.warm_started <- true;
+        (* Evaluate the seeded pmfs under THIS cell's workload as the
+           "previous check": a genuine point of the new chain at step
+           zero.  If the seed is already near-stationary for this cell,
+           the first real check plateaus against it and can settle
+           after a single check period instead of two. *)
+        let lo0, hi0 = Workspace.losses ws ~norm:t.norm in
+        t.prev_lower <- lo0;
+        t.prev_upper <- hi0;
+        if Obs.Trace.enabled () then Obs.Trace.instant ~arg:m "solver/seed";
+        true
+    | _ -> false
+
+  let result t =
+    match t.trivial with
+    | Some (r, _) -> r
+    | None ->
+        let lo = t.lower and hi = t.upper in
+        {
           loss =
-            (if hi < params.negligible_loss then 0.0 else (lo +. hi) /. 2.0);
+            (if hi < t.params.negligible_loss then 0.0
+             else (lo +. hi) /. 2.0);
           lower_bound = lo;
           upper_bound = hi;
-          iterations = !iterations;
-          bins = Workspace.bins !ws;
-          refinements = !refinements;
-          converged;
-        },
-        {
-          step = Workspace.grid_step !ws;
-          lower_pmf = Workspace.lower_pmf !ws;
-          upper_pmf = Workspace.upper_pmf !ws;
-        } )
-    in
-    let rec loop () =
-      (* Advance both chains by one check period. *)
-      let budget = params.max_iterations - !iterations in
-      let steps = min params.check_every budget in
-      for _ = 1 to steps do
-        Workspace.step !ws;
-        incr iterations
-      done;
-      let lo, hi = Workspace.losses !ws ~norm in
-      let gap = hi -. lo in
-      let mid = (hi +. lo) /. 2.0 in
-      Log.debug (fun f ->
-          f "n=%d m=%d lower=%.4g upper=%.4g" !iterations (Workspace.bins !ws)
-            lo hi);
-      if Obs.enabled () then begin
-        Obs.Counter.add m_iterations steps;
-        let rel = if mid > 0.0 then gap /. mid else 0.0 in
-        Obs.Trajectory.record m_gap_trajectory rel;
-        Obs.Gauge.set m_last_gap rel
-      end;
-      if hi < params.negligible_loss then finish ~converged:true ~lo ~hi
-      else if gap <= params.tolerance *. mid then
-        finish ~converged:true ~lo ~hi
-      else if !iterations >= params.max_iterations then
-        finish ~converged:false ~lo ~hi
-      else begin
-        (* Refine only when BOTH chains have individually plateaued:
-           while a chain is still mixing toward its stationary value
-           (e.g. the ceiling chain draining a deep buffer), iterating at
-           the current resolution is cheap and refinement buys nothing. *)
-        let plateaued previous current =
-          Float.is_finite previous
-          && Float.abs (previous -. current)
-             <= params.stall_factor *. Float.max previous 1e-300
+          iterations = t.iterations;
+          bins = bins t;
+          refinements = t.refinements;
+          converged = t.converged;
+        }
+
+  let detailed t =
+    match t.trivial with
+    | Some d -> d
+    | None ->
+        let occ =
+          match t.ws with
+          | Some ws ->
+              {
+                step = Workspace.grid_step ws;
+                lower_pmf = Workspace.lower_pmf ws;
+                upper_pmf = Workspace.upper_pmf ws;
+              }
+          | None -> point_mass_occupancy
         in
-        let stalled =
-          plateaued !prev_lower lo && plateaued !prev_upper hi
-        in
-        prev_lower := lo;
-        prev_upper := hi;
-        if stalled then begin
-          let m = Workspace.bins !ws in
-          if m * 2 <= params.max_bins then begin
-            Log.debug (fun f -> f "refining grid to m=%d" (m * 2));
-            let next =
-              Workspace.make ~convolution:params.convolution workload ~buffer
-                ~m:(m * 2)
-            in
-            Obs.Counter.incr m_refinements;
-            if Obs.Trace.enabled () then begin
-              Obs.Trace.end_ ~arg:m "solver/level";
-              Obs.Trace.instant ~arg:(m * 2) "solver/refine"
-            end;
-            if params.warm_restart then begin
-              Obs.Counter.incr m_warm_restarts;
-              if Obs.Trace.enabled () then
-                Obs.Trace.instant ~arg:(m * 2) "solver/warm_restart";
-              Workspace.refine_from ~src:!ws next
-            end;
-            if Obs.Trace.enabled () then
-              Obs.Trace.begin_ ~arg:(m * 2) "solver/level";
-            ws := next;
-            incr refinements;
-            prev_lower := Float.nan;
-            prev_upper := Float.nan;
-            loop ()
-          end
-          else
-            (* Both chains have plateaued at the finest allowed grid:
-               further iteration cannot close the gap.  Return the
-               certified (if loose) bounds rather than burning the
-               whole iteration budget at the most expensive level. *)
-            finish ~converged:false ~lo ~hi
-        end
-        else loop ()
-      end
-    in
-    loop ()
-  end
+        (result t, occ)
+end
+
+let solve_detailed_impl ?params ?cache model ~service_rate ~buffer =
+  let st =
+    State.create ?params ?cache ~trace_levels:true model ~service_rate ~buffer
+  in
+  State.run st;
+  State.detailed st
 
 let solve_detailed ?params ?cache model ~service_rate ~buffer =
-  Obs.Counter.incr m_solves;
   Obs.Span.time m_solve_span (fun () ->
       Obs.Trace.with_span "solver/solve" (fun () ->
           solve_detailed_impl ?params ?cache model ~service_rate ~buffer))

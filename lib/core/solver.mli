@@ -152,6 +152,124 @@ val mean_virtual_delay : occupancy -> service_rate:float -> float * float
 (** Bounds on the virtual waiting time [Q / c] at epoch starts, in
     seconds: what a fluid atom arriving at an epoch boundary waits. *)
 
+module State : sig
+  type t
+  (** A pausable solve: the classic iterate / check / refine loop of
+      {!solve} driven in caller-controlled slices.  Bounds are checked
+      after every [check_every]-th chain step regardless of how the
+      steps were grouped into {!advance} calls, so the event sequence —
+      and therefore every computed bit — depends only on the total
+      iteration count: suspending and resuming a cell is exact.
+      {!solve} itself runs on a [State], so an uninterrupted state
+      reproduces it by construction.
+
+      A state is single-threaded (advance it from one domain at a
+      time), but successive slices may run on {e different} domains —
+      what a sweep scheduler needs. *)
+
+  val create :
+    ?params:params ->
+    ?cache:Workload.Cache.t * string ->
+    ?trace_levels:bool ->
+    Model.t ->
+    service_rate:float ->
+    buffer:float ->
+    t
+  (** A fresh cold state (floor chain empty, ceiling chain full; the
+      workspace itself is built lazily on the first {!advance}).
+      Trivial cells — zero buffer, or a workload that can never exceed
+      the service rate — are born {!finished} with their closed-form
+      result.  [trace_levels] (default [false]) emits the
+      [solver/level] begin/end timeline slices; leave it off unless
+      every slice of this state runs on one domain (Chrome B/E events
+      must balance per track).  [cache] as in {!solve}.
+      @raise Invalid_argument on nonpositive service rate or negative
+      buffer (same messages as {!solve}). *)
+
+  val create_utilization :
+    ?params:params ->
+    ?cache:Workload.Cache.t * string ->
+    ?trace_levels:bool ->
+    Model.t ->
+    utilization:float ->
+    buffer_seconds:float ->
+    t
+  (** {!create} with the {!solve_utilization} conventions:
+      [c = mean_rate / utilization], [buffer = buffer_seconds * c]. *)
+
+  val advance : t -> iterations:int -> unit
+  (** Run up to [iterations] further chain steps, checking bounds (and
+      refining the grid) at exactly the points the uninterrupted solve
+      would.  Stops early when a check finishes the state.  No-op on a
+      finished state.  @raise Invalid_argument when [iterations] is
+      negative. *)
+
+  val run : t -> unit
+  (** Advance until finished — the uninterrupted solve. *)
+
+  val finished : t -> bool
+  (** No further work: converged, budget exhausted, stalled at
+      [max_bins], or {!stop}ped. *)
+
+  val converged : t -> bool
+  (** The tolerance or negligible-loss criterion was met. *)
+
+  val iterations : t -> int
+  val refinements : t -> int
+
+  val bins : t -> int
+  (** Current grid resolution. *)
+
+  val bounds : t -> float * float
+  (** [(lower, upper)] loss bounds at the latest check — [(nan, nan)]
+      before the first check of a non-trivial state. *)
+
+  val gap_rel : t -> float
+  (** Relative bound gap [(upper - lower) / midpoint] at the latest
+      check: the paper's stopping ratio, and a scheduler's priority.
+      [infinity] before the first check (fresh cells sort first), [0]
+      once the loss is known negligible. *)
+
+  val warm_started : t -> bool
+  (** Whether {!seed_from} succeeded on this state. *)
+
+  val seed_from : src:t -> t -> bool
+  (** [seed_from ~src t] warm-starts [t] from a neighbouring cell:
+      [t] adopts [src]'s current resolution and both of its occupancy
+      pmfs as initial conditions, skipping the refinement ladder and
+      most of the mixing time.  Legal only when the occupancy grids
+      (nearly) coincide — buffers within a 25% relative tolerance, so a
+      mean-preserving marginal scaling whose zero-clamp nudged the
+      service rate still seeds — with [src]'s bins within [t]'s
+      [max_bins] and [t] fresh (zero iterations); returns [false] —
+      leaving [t] cold — otherwise, or for trivial cells.
+
+      Certification: the seed carries no bound semantics (it is just an
+      initial distribution), and a warm-started chain may approach its
+      stationary value from either side — so a warm-started state only
+      accepts a convergence criterion once both chains have {e also}
+      plateaued (within [stall_factor]), i.e. they sit at their
+      stationary values, which bound the true loss regardless of the
+      initial state.  Cold states are unaffected bit for bit. *)
+
+  val stop : t -> unit
+  (** Finish the state now, keeping its latest certified bounds (after
+      evaluating them once if the state never reached a check).  The
+      result reports [converged = false]: the cell was cut off by
+      policy, not by its own criterion.  Idempotent. *)
+
+  val result : t -> result
+  (** The result so far; meaningful once {!finished} (before the first
+      check the bounds are [nan]). *)
+
+  val detailed : t -> result * occupancy
+  (** {!result} plus the current occupancy bounds, as
+      {!solve_detailed}. *)
+end
+(** The resumable core of {!solve}, exposed for sweep schedulers
+    ({!Lrd_experiments.Sweep.scheduled_surface}) that interleave many
+    cells, warm-start neighbours and allocate iterations globally. *)
+
 val solve :
   ?params:params ->
   ?cache:Workload.Cache.t * string ->

@@ -2,6 +2,7 @@ type t = {
   quick : bool;
   seed : int64;
   jobs : int;
+  gap_policy : Sweep.gap_policy;
   pool : Lrd_parallel.Pool.t option;
   lock : Mutex.t;
       (* [Lazy.force] is not domain-safe (a second forcer raises
@@ -32,7 +33,8 @@ let pool_of_jobs jobs =
       else if j = 1 then None
       else Some (Lrd_parallel.Pool.create ~workers:(j - 1) ())
 
-let create ?(seed = 20260705L) ?jobs ~quick () =
+let create ?(seed = 20260705L) ?jobs ?(gap_policy = Sweep.uniform_policy)
+    ~quick () =
   let pool = pool_of_jobs jobs in
   let rng = Lrd_rng.Rng.create ~seed in
   let mtv_rng = Lrd_rng.Rng.split rng in
@@ -57,6 +59,7 @@ let create ?(seed = 20260705L) ?jobs ~quick () =
     quick;
     seed;
     jobs = (match pool with None -> 1 | Some p -> Lrd_parallel.Pool.parallelism p);
+    gap_policy;
     pool;
     lock = Mutex.create ();
     mtv;
@@ -70,6 +73,7 @@ let create ?(seed = 20260705L) ?jobs ~quick () =
 let quick t = t.quick
 let seed t = t.seed
 let jobs t = t.jobs
+let gap_policy t = t.gap_policy
 let pool t = t.pool
 
 let teardown t =
@@ -118,6 +122,18 @@ let manifest_fields t =
     ("seed", Str (Int64.to_string t.seed));
     ("quick", Bool t.quick);
     ("jobs", Num (float_of_int t.jobs));
+    ( "gap_policy",
+      Obj
+        [
+          ( "contrast_decades",
+            match t.gap_policy.Sweep.contrast_decades with
+            | None -> Null
+            | Some d -> Num d );
+          ( "iteration_budget",
+            match t.gap_policy.Sweep.iteration_budget with
+            | None -> Null
+            | Some b -> Num (float_of_int b) );
+        ] );
     (* How cell randomness derives from the seed — fixed by the
        determinism contract, recorded so a manifest is self-describing. *)
     ("rng_splits", Str "per-cell Rng.split_indexed on the cell index");

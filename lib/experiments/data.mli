@@ -13,13 +13,21 @@
 
 type t
 
-val create : ?seed:int64 -> ?jobs:int -> quick:bool -> unit -> t
+val create :
+  ?seed:int64 ->
+  ?jobs:int ->
+  ?gap_policy:Sweep.gap_policy ->
+  quick:bool ->
+  unit ->
+  t
 (** Default seed 20260705.  [jobs] sets the total parallelism of the
     sweeps run from this context: omitted or [1] means sequential (no
     pool), [0] means auto-size to the machine
     ([Domain.recommended_domain_count]), and [j >= 2] runs grids on a
     pool of [j - 1] worker domains plus the calling domain.  Call
     {!teardown} when done with a context whose [jobs <> 1].
+    [gap_policy] (default {!Sweep.uniform_policy}) is the error-budget
+    policy the scheduled figure sweeps run under.
     @raise Invalid_argument when [jobs] is negative. *)
 
 val quick : t -> bool
@@ -32,6 +40,10 @@ val jobs : t -> int
 val pool : t -> Lrd_parallel.Pool.t option
 (** The context's domain pool, if any; figure runners pass this to
     {!Sweep.surface} and friends. *)
+
+val gap_policy : t -> Sweep.gap_policy
+(** The error-budget policy for this context's scheduled sweeps
+    (uniform unless overridden at {!create}). *)
 
 val teardown : t -> unit
 (** Shuts down the pool's worker domains (idempotent; no-op for

@@ -13,20 +13,23 @@ let surface ctx ~model_of ~utilization =
   let cutoffs = Sweep.cutoffs ~quick () in
   let params = Data.solver_params ctx in
   (* One model + memoizing workload per cutoff column, shared across the
-     buffer rows (and across domains when a pool is set). *)
+     buffer rows (and across domains when a pool is set).  The cutoff is
+     the x axis, so the buffer — hence the occupancy grid — is constant
+     along each warm-start chain of the scheduled sweep. *)
   let cache = Lrd_core.Workload.Cache.create () in
   let cells =
-    Sweep.surface ?pool:(Data.pool ctx) ~xs:cutoffs ~ys:buffers
-      ~f:(fun ~x:cutoff ~y:buffer ->
+    Sweep.scheduled_surface ?pool:(Data.pool ctx)
+      ~policy:(Data.gap_policy ctx) ~xs:cutoffs ~ys:buffers
+      ~state:(fun cutoff buffer ->
         let key = Sweep.cell_key cutoff in
         let model =
           Lrd_core.Workload.Cache.model cache ~key (fun () ->
               model_of ~cutoff)
         in
-        (Lrd_core.Solver.solve_utilization ~params ~cache:(cache, key) model
-           ~utilization ~buffer_seconds:buffer)
-          .Lrd_core.Solver.loss)
+        Lrd_core.Solver.State.create_utilization ~params ~cache:(cache, key)
+          model ~utilization ~buffer_seconds:buffer)
       ()
+    |> Array.map (Array.map (fun r -> r.Lrd_core.Solver.loss))
   in
   {
     Table.title;

@@ -20,18 +20,22 @@ let surface ctx ~base_marginal ~theta ~utilization ~title
   let params = Data.solver_params ctx in
   let cells =
     (* No cross-cell cache: the model differs along both axes, so no two
-       cells share a workload here. *)
-    Sweep.surface ?pool:(Data.pool ctx) ~xs ~ys:hursts
-      ~f:(fun ~x ~y:hurst ->
+       cells share a workload here.  Warm-start chains still run along
+       the x axis: [Marginal.scale] and [superpose] are mean-preserving,
+       so the service rate — and with it the occupancy grid — is
+       bitwise constant along each Hurst row. *)
+    Sweep.scheduled_surface ?pool:(Data.pool ctx)
+      ~policy:(Data.gap_policy ctx) ~xs ~ys:hursts
+      ~state:(fun x hurst ->
         let marginal = transform base_marginal x in
         let model =
           Lrd_core.Model.of_hurst ~marginal ~hurst ~theta
             ~cutoff:Float.infinity
         in
-        (Lrd_core.Solver.solve_utilization ~params model ~utilization
-           ~buffer_seconds)
-          .Lrd_core.Solver.loss)
+        Lrd_core.Solver.State.create_utilization ~params model ~utilization
+          ~buffer_seconds)
       ()
+    |> Array.map (Array.map (fun r -> r.Lrd_core.Solver.loss))
   in
   {
     Table.title;

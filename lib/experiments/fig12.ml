@@ -15,11 +15,15 @@ let surface ctx ~base_marginal ~theta ~hurst ~utilization ~title =
   let scalings = Sweep.scalings ~quick () in
   let params = Data.solver_params ctx in
   (* The model depends only on the scaling column, so the cache shares
-     one model + memoizing workload per column across the buffer rows. *)
+     one model + memoizing workload per column across the buffer rows.
+     Scaling is mean-preserving, so the buffer in work units is
+     constant along each buffer row and the warm-start chains run along
+     the scaling axis. *)
   let cache = Lrd_core.Workload.Cache.create () in
   let cells =
-    Sweep.surface ?pool:(Data.pool ctx) ~xs:scalings ~ys:buffers
-      ~f:(fun ~x:a ~y:buffer_seconds ->
+    Sweep.scheduled_surface ?pool:(Data.pool ctx)
+      ~policy:(Data.gap_policy ctx) ~xs:scalings ~ys:buffers
+      ~state:(fun a buffer_seconds ->
         let key = Sweep.cell_key a in
         let model =
           Lrd_core.Workload.Cache.model cache ~key (fun () ->
@@ -29,10 +33,10 @@ let surface ctx ~base_marginal ~theta ~hurst ~utilization ~title =
               Lrd_core.Model.of_hurst ~marginal ~hurst ~theta
                 ~cutoff:Float.infinity)
         in
-        (Lrd_core.Solver.solve_utilization ~params ~cache:(cache, key) model
-           ~utilization ~buffer_seconds)
-          .Lrd_core.Solver.loss)
+        Lrd_core.Solver.State.create_utilization ~params ~cache:(cache, key)
+          model ~utilization ~buffer_seconds)
       ()
+    |> Array.map (Array.map (fun r -> r.Lrd_core.Solver.loss))
   in
   {
     Table.title;

@@ -67,6 +67,230 @@ let surface ?pool ~xs ~ys ~f () =
 
 let cell_key x = Printf.sprintf "%h" x
 
+(* ------------------------------------------------------------------ *)
+(* Gap-driven sweep scheduler.
+
+   [scheduled_surface] evaluates a grid of resumable solver states
+   ([Solver.State]) instead of independent fire-and-forget solves, and
+   spends iterations where uncertainty lives: each round it advances the
+   cells with the widest relative bound gaps by one slice, in parallel
+   on the pool when one is given.  Two further levers ride on the same
+   machinery:
+
+   - continuation along the x axis: when a cell finishes, its right
+     neighbour is created and warm-started from its occupancy pmfs
+     ([Solver.State.seed_from] — a bitwise grid-coincidence check with
+     a cold-start fallback), skipping the refinement ladder and most of
+     the mixing time;
+   - a per-figure [gap_policy]: an optional plotted-contrast rule stops
+     cells whose certified upper bound already sits decades below the
+     surface's largest lower bound (their exact value cannot change the
+     figure), and an optional global iteration budget hard-stops the
+     whole surface.
+
+   Determinism: rounds are sequential and the frontier is a pure
+   function of the accumulated solver states, which themselves evolve
+   independently per cell — so results are byte-identical for every
+   pool size, exactly like [surface].  The pool only changes which
+   domain runs a given slice. *)
+
+type gap_policy = {
+  contrast_decades : float option;
+  iteration_budget : int option;
+}
+
+let uniform_policy = { contrast_decades = None; iteration_budget = None }
+
+let m_warm_starts = Lrd_obs.Obs.Counter.make "sweep/warm_starts"
+let m_iterations_saved = Lrd_obs.Obs.Counter.make "sweep/iterations_saved"
+let m_early_stopped = Lrd_obs.Obs.Counter.make "sweep/cells_early_stopped"
+let m_rounds = Lrd_obs.Obs.Counter.make "sweep/schedule_rounds"
+let m_sched_gap = Lrd_obs.Obs.Trajectory.make ~capacity:256 "sweep/gap_rel"
+
+let scheduled_surface (type a b) ?pool ?(policy = uniform_policy)
+    ?(slice = 512) ?(warm_start = true) ~(xs : a array) ~(ys : b array)
+    ~(state : a -> b -> Lrd_core.Solver.State.t) () =
+  let module State = Lrd_core.Solver.State in
+  let module Obs = Lrd_obs.Obs in
+  if slice <= 0 then
+    invalid_arg "Sweep.scheduled_surface: slice must be positive";
+  let nx = Array.length xs and ny = Array.length ys in
+  Obs.Counter.add m_cells (nx * ny);
+  if nx = 0 then Array.map (fun _ -> [||]) ys
+  else begin
+    let n = nx * ny in
+    let states : State.t option array = Array.make n None in
+    (* Iterations the warm-start source had spent when this cell was
+       seeded; -1 for cold cells.  The difference to the seeded cell's
+       own final count is a conservative estimate of the iterations the
+       continuation saved (the true counterfactual would need a cold
+       rerun). *)
+    let seed_iterations = Array.make n (-1) in
+    let handled = Array.make n false in
+    let rec on_finished i =
+      if not handled.(i) then begin
+        handled.(i) <- true;
+        (match states.(i) with
+        | Some st when seed_iterations.(i) >= 0 ->
+            Obs.Counter.add m_iterations_saved
+              (max 0 (seed_iterations.(i) - State.iterations st))
+        | _ -> ());
+        (* Continuation: the chain's next cell starts — warm when the
+           grids coincide — as soon as its predecessor settles. *)
+        let ix = i mod nx and iy = i / nx in
+        if ix + 1 < nx && states.(i + 1) = None then create_cell iy (ix + 1)
+      end
+    and create_cell iy ix =
+      let i = (iy * nx) + ix in
+      let st = state xs.(ix) ys.(iy) in
+      states.(i) <- Some st;
+      if warm_start && ix > 0 then (
+        match states.(i - 1) with
+        | Some src when State.finished src ->
+            if State.seed_from ~src st then begin
+              Obs.Counter.incr m_warm_starts;
+              seed_iterations.(i) <- State.iterations src;
+              if Obs.Trace.enabled () then
+                Obs.Trace.instant ~arg:i "sweep/warm_start"
+            end
+        | _ -> ());
+      (* A trivial cell (zero buffer / non-growing workload) is born
+         finished: keep the chain moving without waiting for a round. *)
+      if State.finished st then on_finished i
+    in
+    let active () =
+      let acc = ref [] in
+      for i = n - 1 downto 0 do
+        match states.(i) with
+        | Some st when not (State.finished st) -> acc := i :: !acc
+        | _ -> ()
+      done;
+      !acc
+    in
+    let total_iterations () =
+      Array.fold_left
+        (fun acc s ->
+          match s with Some st -> acc + State.iterations st | None -> acc)
+        0 states
+    in
+    let stop_cell i =
+      match states.(i) with
+      | Some st when not (State.finished st) ->
+          State.stop st;
+          Obs.Counter.incr m_early_stopped;
+          if Obs.Trace.enabled () then
+            Obs.Trace.instant ~arg:i "sweep/early_stop";
+          on_finished i
+      | _ -> ()
+    in
+    (* Plotted-contrast early stop: a cell whose certified upper bound
+       sits [decades] below the largest lower bound anywhere on the
+       surface so far cannot move its own pixel — every further
+       iteration would only narrow an invisibly small value. *)
+    let apply_contrast () =
+      match policy.contrast_decades with
+      | None -> ()
+      | Some decades ->
+          let floor_lower = ref 0.0 in
+          Array.iter
+            (function
+              | Some st ->
+                  let lo, _ = State.bounds st in
+                  if Float.is_finite lo && lo > !floor_lower then
+                    floor_lower := lo
+              | None -> ())
+            states;
+          let cut = !floor_lower *. (10.0 ** -.decades) in
+          if cut > 0.0 then
+            List.iter
+              (fun i ->
+                match states.(i) with
+                | Some st ->
+                    let _, hi = State.bounds st in
+                    if Float.is_finite hi && hi < cut then stop_cell i
+                | None -> ())
+              (active ())
+    in
+    (* Global budget: once the surface has spent its iteration cap,
+       stop everything — including chain cells not yet created, which
+       get their (vacuous but certified) initial bounds. *)
+    let apply_budget () =
+      match policy.iteration_budget with
+      | None -> ()
+      | Some budget ->
+          if total_iterations () >= budget then begin
+            let rec drain () =
+              match active () with
+              | [] -> ()
+              | act ->
+                  List.iter stop_cell act;
+                  drain ()
+            in
+            drain ()
+          end
+    in
+    let advance_cell i =
+      match states.(i) with
+      | Some st ->
+          if Lrd_obs.Obs.Trace.enabled () then
+            Lrd_obs.Obs.Trace.with_span ~arg:i "sweep/slice" (fun () ->
+                State.advance st ~iterations:slice)
+          else State.advance st ~iterations:slice
+      | None -> ()
+    in
+    for iy = 0 to ny - 1 do
+      create_cell iy 0
+    done;
+    apply_budget ();
+    let rec rounds () =
+      match active () with
+      | [] -> ()
+      | act ->
+          Obs.Counter.incr m_rounds;
+          (* Frontier: every active cell within 2x of the widest
+             relative gap.  Fresh cells report an infinite gap and are
+             always scheduled; as the surface converges the frontier
+             narrows onto the hard cells. *)
+          let gap i =
+            match states.(i) with
+            | Some st -> State.gap_rel st
+            | None -> 0.0
+          in
+          let gmax = List.fold_left (fun g i -> Float.max g (gap i)) 0.0 act in
+          let frontier =
+            Array.of_list
+              (List.filter (fun i -> gap i >= 0.5 *. gmax) act)
+          in
+          (match pool with
+          | Some p when Array.length frontier > 1 ->
+              Lrd_parallel.Pool.iter p
+                (fun k -> advance_cell frontier.(k))
+                (Array.length frontier)
+          | _ -> Array.iter advance_cell frontier);
+          (* Post-round bookkeeping runs on the scheduling domain, in
+             index order: gap trajectories, chain continuation, then
+             the policy passes — all deterministic. *)
+          Array.iter
+            (fun i ->
+              if Obs.enabled () then Obs.Trajectory.record m_sched_gap (gap i);
+              match states.(i) with
+              | Some st when State.finished st -> on_finished i
+              | _ -> ())
+            frontier;
+          apply_contrast ();
+          apply_budget ();
+          rounds ()
+    in
+    if Obs.Trace.enabled () then
+      Obs.Trace.with_span "sweep/scheduled" rounds
+    else rounds ();
+    Array.init ny (fun iy ->
+        Array.init nx (fun ix ->
+            match states.((iy * nx) + ix) with
+            | Some st -> State.result st
+            | None -> assert false))
+  end
+
 (* The shared parameter grids, as manifest JSON.  Infinite cutoffs are
    rendered as the string "inf": JSON has no infinity literal and a
    null would lose which cell the value was. *)

@@ -61,6 +61,66 @@ val cell_key : float -> string
     including infinity, which is what {!Lrd_core.Workload.Cache}
     requires. *)
 
+type gap_policy = {
+  contrast_decades : float option;
+      (** Stop refining a cell once its certified upper bound sits this
+          many decades below the largest lower bound anywhere on the
+          surface: its exact value can no longer change the plotted
+          contrast.  [None] (the default) converges every cell to the
+          solver's own gap target. *)
+  iteration_budget : int option;
+      (** Hard cap on the total chain iterations the whole surface may
+          spend; when it runs out every remaining cell is stopped with
+          its latest certified (possibly loose) bounds.  [None]: no
+          cap. *)
+}
+(** Per-figure error-budget policy for {!scheduled_surface}.  Both
+    levers compose; both leave every reported bound certified
+    (lower <= true loss <= upper) — they only decide how {e narrow} the
+    intervals get. *)
+
+val uniform_policy : gap_policy
+(** No contrast rule, no budget: every cell converges to the solver's
+    uniform 20% gap target — the classic sweep semantics. *)
+
+val scheduled_surface :
+  ?pool:Lrd_parallel.Pool.t ->
+  ?policy:gap_policy ->
+  ?slice:int ->
+  ?warm_start:bool ->
+  xs:'a array ->
+  ys:'b array ->
+  state:('a -> 'b -> Lrd_core.Solver.State.t) ->
+  unit ->
+  Lrd_core.Solver.result array array
+(** Gap-driven grid evaluation over resumable solver states:
+    [cells.(row).(col)] is the result of [state xs.(col) ys.(row)],
+    like {!psurface}, but iterations flow to the cells with the widest
+    relative bound gaps.  Each scheduling round advances every active
+    cell within 2x of the widest gap by [slice] chain iterations
+    (default 512), on the pool when one is given.  Cells are created
+    lazily along each row: when a cell finishes, its right neighbour
+    starts and — when [warm_start] (default [true]) and the occupancy
+    grids (nearly) coincide — is seeded from its converged pmfs
+    ({!Lrd_core.Solver.State.seed_from}), skipping the refinement
+    ladder.  All six loss surfaces keep the buffer (nearly) constant
+    along a row — mean-preserving marginal transforms leave the service
+    rate fixed up to zero-clamping — so the coincidence holds by
+    construction there; the check falls back to a cold start
+    otherwise.
+
+    Deterministic for every pool size: rounds are sequential, the
+    frontier is a pure function of the per-cell states, and cells never
+    share mutable state (the usual sweep contract).  Counters:
+    [sweep/warm_starts], [sweep/iterations_saved] (conservative:
+    source-minus-own iterations per warm-started cell),
+    [sweep/cells_early_stopped], [sweep/schedule_rounds]; recent
+    per-slice gaps land in the [sweep/gap_rel] trajectory, and
+    [sweep/slice] / [sweep/warm_start] / [sweep/early_stop] trace
+    events show the budget flowing to hard cells on a Perfetto
+    timeline.
+    @raise Invalid_argument when [slice <= 0]. *)
+
 val manifest_fields : quick:bool -> unit -> (string * Lrd_obs.Json.t) list
 (** The shared parameter grids above, for a run's provenance manifest:
     [buffers_seconds], [cutoffs_seconds] (infinity as the string

@@ -13,7 +13,12 @@ type row = {
   status : status;
 }
 
-type report = { rows : row list; regressions : int; missing : int }
+type report = {
+  rows : row list;
+  regressions : int;
+  missing : int;
+  additions : int;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Scalar extraction *)
@@ -114,7 +119,11 @@ let compare_values ?(threshold = 2.0) ?(min_abs = 0.0) ?filter base current =
         {
           rows;
           regressions = count Regressed;
-          missing = count Missing_current + count Missing_base;
+          (* A name in the base only is a warning (a filtered run misses
+             series); a name in the current only is an improvement — new
+             coverage — and is counted separately, not as missing. *)
+          missing = count Missing_current;
+          additions = count Missing_base;
         }
 
 let status_label = function
@@ -159,11 +168,11 @@ let render report =
   let total = List.length report.rows in
   Buffer.add_string b
     (Printf.sprintf
-       "%d series compared: %d unchanged, %d regressed, %d missing on one \
-        side\n"
+       "%d series compared: %d unchanged, %d regressed, %d new in current, \
+        %d missing in current\n"
        total
        (total - List.length shown)
-       report.regressions report.missing);
+       report.regressions report.additions report.missing);
   Buffer.contents b
 
 let run ?threshold ?min_abs ?filter ~base ~current () =

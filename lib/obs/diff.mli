@@ -17,9 +17,10 @@
     The regression rule, designed for "bigger is worse" series (timings,
     drop counts): current [> threshold ×] base {e and} the absolute
     increase [>= min_abs].  Decreases are improvements, never
-    regressions.  A name present on only one side is a warning, not a
+    regressions.  A name present in the base only is a warning, not a
     failure — so an [--only]-filtered bench run can be diffed against
-    the full committed baseline. *)
+    the full committed baseline; a name present in the current only is
+    new coverage and counts as an addition, not as missing. *)
 
 type status =
   | Unchanged
@@ -40,6 +41,10 @@ type report = {
   rows : row list;  (** Sorted by name. *)
   regressions : int;
   missing : int;
+      (** Names in the base snapshot only — the warning bucket. *)
+  additions : int;
+      (** Names in the current snapshot only: new coverage, reported as
+          an improvement in the summary, never as missing. *)
 }
 
 val scalars : Json.t -> ((string * float) list, string) result

@@ -450,6 +450,92 @@ let test_workspace_step_does_not_allocate () =
     [ `Fft; `Direct ]
 
 (* ------------------------------------------------------------------ *)
+(* Resumable solver states *)
+
+(* Any partition of the iteration stream into [State.advance] calls must
+   reproduce the one-shot [solve] bit for bit: bounds are checked after
+   every [check_every]-th step (or at the budget) regardless of how the
+   steps are grouped, so the whole event sequence — checks, refinements,
+   stopping — is a function of the total step count alone. *)
+let prop_state_slicing_bitwise =
+  let m = pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:2.0 () in
+  let reference = lazy (Solver.solve m ~service_rate:1.25 ~buffer:2.0) in
+  QCheck.Test.make ~name:"State.advance slicing reproduces solve bitwise"
+    ~count:40
+    (QCheck.make
+       ~print:QCheck.Print.(list int)
+       QCheck.Gen.(list_size (int_range 0 12) (int_range 1 700)))
+    (fun slices ->
+      let reference = Lazy.force reference in
+      let st = Solver.State.create m ~service_rate:1.25 ~buffer:2.0 in
+      List.iter (fun n -> Solver.State.advance st ~iterations:n) slices;
+      Solver.State.run st;
+      let r = Solver.State.result st in
+      r.Solver.loss = reference.Solver.loss
+      && r.Solver.lower_bound = reference.Solver.lower_bound
+      && r.Solver.upper_bound = reference.Solver.upper_bound
+      && r.Solver.iterations = reference.Solver.iterations
+      && r.Solver.bins = reference.Solver.bins
+      && r.Solver.refinements = reference.Solver.refinements
+      && r.Solver.converged = reference.Solver.converged)
+
+let test_state_seed_from_neighbour () =
+  (* Two models differing only in theta, same service rate and buffer:
+     the occupancy grids coincide, so seeding must be accepted — and the
+     warm-started interval must stay a certified bracket, consistent
+     with an independent cold solve of the same cell. *)
+  let model theta = pareto_model ~theta ~alpha:1.4 ~cutoff:2.0 () in
+  let src = Solver.State.create (model 0.2) ~service_rate:1.25 ~buffer:2.0 in
+  Solver.State.run src;
+  let cold = Solver.State.create (model 0.22) ~service_rate:1.25 ~buffer:2.0 in
+  Solver.State.run cold;
+  let warm = Solver.State.create (model 0.22) ~service_rate:1.25 ~buffer:2.0 in
+  Alcotest.(check bool) "seeding accepted" true
+    (Solver.State.seed_from ~src warm);
+  Alcotest.(check bool) "marked warm-started" true
+    (Solver.State.warm_started warm);
+  Solver.State.run warm;
+  let w = Solver.State.result warm and c = Solver.State.result cold in
+  Alcotest.(check bool) "warm interval certified" true
+    (w.Solver.lower_bound <= w.Solver.upper_bound);
+  Alcotest.(check bool) "warm converged" true w.Solver.converged;
+  (* Both intervals bracket the same true loss. *)
+  Alcotest.(check bool) "intervals overlap" true
+    (w.Solver.lower_bound <= c.Solver.upper_bound +. 1e-12
+    && c.Solver.lower_bound <= w.Solver.upper_bound +. 1e-12);
+  (* The cold point estimate is the midpoint of an interval that also
+     contains the truth, so it can sit at most half the cold width
+     outside the warm interval. *)
+  let slack =
+    (0.5 *. (c.Solver.upper_bound -. c.Solver.lower_bound)) +. 1e-12
+  in
+  Alcotest.(check bool) "cold estimate inside warm interval" true
+    (c.Solver.loss >= w.Solver.lower_bound -. slack
+    && c.Solver.loss <= w.Solver.upper_bound +. slack);
+  (* A buffer mismatch means a different occupancy grid: seeding must
+     fall back to a cold start rather than blit incompatible pmfs. *)
+  let other = Solver.State.create (model 0.22) ~service_rate:1.25 ~buffer:1.0 in
+  Alcotest.(check bool) "buffer mismatch rejected" false
+    (Solver.State.seed_from ~src other);
+  Alcotest.(check bool) "rejected state stays cold" false
+    (Solver.State.warm_started other)
+
+let test_state_stop_reports_certified_bounds () =
+  let m = pareto_model ~theta:0.2 ~alpha:1.4 ~cutoff:2.0 () in
+  let st = Solver.State.create m ~service_rate:1.25 ~buffer:2.0 in
+  Solver.State.advance st ~iterations:32;
+  Solver.State.stop st;
+  Alcotest.(check bool) "finished" true (Solver.State.finished st);
+  Alcotest.(check bool) "not converged" false (Solver.State.converged st);
+  let r = Solver.State.result st in
+  Alcotest.(check bool) "bounds still certified" true
+    (r.Solver.lower_bound <= r.Solver.upper_bound);
+  let full = Solver.solve m ~service_rate:1.25 ~buffer:2.0 in
+  Alcotest.(check bool) "early interval contains converged interval" true
+    (r.Solver.lower_bound <= full.Solver.lower_bound +. 1e-12
+    && full.Solver.upper_bound <= r.Solver.upper_bound +. 1e-12)
+
+(* ------------------------------------------------------------------ *)
 (* Snapshots (Fig. 2 machinery) *)
 
 let test_snapshots_monotone_in_n () =
@@ -1047,6 +1133,14 @@ let () =
             test_solver_golden_matrix;
           Alcotest.test_case "workspace step allocates nothing" `Quick
             test_workspace_step_does_not_allocate;
+        ] );
+      ( "state",
+        [
+          QCheck_alcotest.to_alcotest prop_state_slicing_bitwise;
+          Alcotest.test_case "seed from neighbour" `Quick
+            test_state_seed_from_neighbour;
+          Alcotest.test_case "stop keeps certified bounds" `Quick
+            test_state_stop_reports_certified_bounds;
         ] );
       ( "snapshots",
         [

@@ -363,6 +363,119 @@ let test_sweep_surface_layout () =
   Alcotest.(check int) "cols" 3 (Array.length cells.(0));
   Alcotest.(check (float 1e-12)) "cell" 23.0 cells.(1).(2)
 
+(* ------------------------------------------------------------------ *)
+(* Scheduled sweeps *)
+
+(* A fig12-style cell: marginal scaling on the x axis, buffer on the y
+   axis.  Scaling is mean-preserving, so the buffer in work units is
+   constant along a row and the scheduler's neighbour warm-starts
+   apply. *)
+let fig12_cell ctx a ~buffer_seconds =
+  let marginal =
+    Lrd_dist.Marginal.scale ~clamp:true (Data.mtv_marginal ctx) ~factor:a
+  in
+  let model =
+    Lrd_core.Model.of_hurst ~marginal ~hurst:Data.mtv_hurst
+      ~theta:(Data.mtv_theta ctx) ~cutoff:Float.infinity
+  in
+  Lrd_core.Solver.State.create_utilization ~params:(Data.solver_params ctx)
+    model ~utilization:Data.mtv_utilization ~buffer_seconds
+
+let test_scheduled_row_certified_and_contains_cold () =
+  let module S = Lrd_core.Solver in
+  let ctx = Lazy.force ctx in
+  let scalings = Sweep.scalings ~quick:true () in
+  let buffer_seconds = 1.0 in
+  (* Independent cold solves of the same row, one state per cell. *)
+  let cold =
+    Array.map
+      (fun a ->
+        let st = fig12_cell ctx a ~buffer_seconds in
+        S.State.run st;
+        S.State.result st)
+      scalings
+  in
+  let warm =
+    (Sweep.scheduled_surface ~xs:scalings ~ys:[| buffer_seconds |]
+       ~state:(fun a b -> fig12_cell ctx a ~buffer_seconds:b)
+       ()).(0)
+  in
+  let params = Data.solver_params ctx in
+  Array.iteri
+    (fun i (c : S.result) ->
+      let w = warm.(i) in
+      Alcotest.(check bool) "certified: lower <= upper" true
+        (w.S.lower_bound <= w.S.upper_bound);
+      (* Under the uniform policy every cell must converge to the
+         solver's own gap target (or fall below the negligible-loss
+         floor). *)
+      Alcotest.(check bool) "converged" true w.S.converged;
+      Alcotest.(check bool) "gap within policy target" true
+        (w.S.upper_bound < params.S.negligible_loss
+        || w.S.upper_bound -. w.S.lower_bound
+           <= params.S.tolerance
+              *. ((w.S.upper_bound +. w.S.lower_bound) /. 2.0)
+              +. 1e-12);
+      (* Both intervals bracket the same true loss rate. *)
+      Alcotest.(check bool) "warm and cold intervals overlap" true
+        (w.S.lower_bound <= c.S.upper_bound +. 1e-12
+        && c.S.lower_bound <= w.S.upper_bound +. 1e-12);
+      (* The cold point estimate is the midpoint of an interval that
+         also contains the truth, so it sits at most half the cold
+         width outside the warm interval. *)
+      let slack = (0.5 *. (c.S.upper_bound -. c.S.lower_bound)) +. 1e-12 in
+      Alcotest.(check bool) "warm interval contains cold estimate" true
+        (c.S.loss >= w.S.lower_bound -. slack
+        && c.S.loss <= w.S.upper_bound +. slack))
+    cold
+
+let test_scheduled_budget_stops_everywhere_certified () =
+  let module S = Lrd_core.Solver in
+  let ctx = Lazy.force ctx in
+  let scalings = Sweep.scalings ~quick:true () in
+  let buffers = Sweep.buffers ~quick:true ~max_seconds:5.0 () in
+  let policy =
+    { Sweep.contrast_decades = None; iteration_budget = Some 200 }
+  in
+  let cells =
+    Sweep.scheduled_surface ~policy ~slice:64 ~xs:scalings ~ys:buffers
+      ~state:(fun a b -> fig12_cell ctx a ~buffer_seconds:b)
+      ()
+  in
+  Array.iter
+    (Array.iter (fun (r : S.result) ->
+         Alcotest.(check bool) "budget-stopped cell still certified" true
+           (r.S.lower_bound <= r.S.upper_bound
+           && r.S.lower_bound >= 0.0
+           && Float.is_finite r.S.upper_bound)))
+    cells
+
+let test_scheduled_matches_uniform_sweep_losses () =
+  (* The scheduler under the uniform policy must land inside the same
+     certified tolerance band as the classic cold sweep: compare the
+     whole quick fig12 surface cell by cell via interval overlap. *)
+  let module S = Lrd_core.Solver in
+  let ctx = Lazy.force ctx in
+  let scalings = Sweep.scalings ~quick:true () in
+  let buffers = Sweep.buffers ~quick:true ~max_seconds:5.0 () in
+  let scheduled =
+    Sweep.scheduled_surface ~xs:scalings ~ys:buffers
+      ~state:(fun a b -> fig12_cell ctx a ~buffer_seconds:b)
+      ()
+  in
+  Array.iteri
+    (fun iy row ->
+      Array.iteri
+        (fun ix (w : S.result) ->
+          let st = fig12_cell ctx scalings.(ix) ~buffer_seconds:buffers.(iy) in
+          S.State.run st;
+          let c = S.State.result st in
+          Alcotest.(check bool) "intervals overlap" true
+            (w.S.lower_bound <= c.S.upper_bound +. 1e-12
+            && c.S.lower_bound <= w.S.upper_bound +. 1e-12))
+        row)
+    scheduled
+
 let () =
   Alcotest.run "experiments"
     [
@@ -425,5 +538,14 @@ let () =
           Alcotest.test_case "blocks of cutoffs" `Quick
             test_sweep_blocks_of_cutoffs;
           Alcotest.test_case "surface layout" `Quick test_sweep_surface_layout;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "warm row certified, contains cold" `Slow
+            test_scheduled_row_certified_and_contains_cold;
+          Alcotest.test_case "budget stop keeps certification" `Slow
+            test_scheduled_budget_stops_everywhere_certified;
+          Alcotest.test_case "matches uniform sweep" `Slow
+            test_scheduled_matches_uniform_sweep_losses;
         ] );
     ]

@@ -663,7 +663,8 @@ let test_diff_classification () =
   | Error e -> Alcotest.failf "diff failed: %s" e
   | Ok r ->
       Alcotest.(check int) "one regression" 1 r.Diff.regressions;
-      Alcotest.(check int) "two missing on one side" 2 r.Diff.missing;
+      Alcotest.(check int) "one missing in current" 1 r.Diff.missing;
+      Alcotest.(check int) "one new in current" 1 r.Diff.additions;
       Alcotest.(check bool) "unchanged" true
         (diff_status r "flat" = Diff.Unchanged);
       Alcotest.(check bool) "within threshold is changed" true
@@ -674,7 +675,7 @@ let test_diff_classification () =
         (diff_status r "faster" = Diff.Improved);
       Alcotest.(check bool) "base-only warns" true
         (diff_status r "gone" = Diff.Missing_current);
-      Alcotest.(check bool) "current-only warns" true
+      Alcotest.(check bool) "current-only is an addition" true
         (diff_status r "fresh" = Diff.Missing_base);
       let rendered = Diff.render r in
       let contains sub =
@@ -689,7 +690,7 @@ let test_diff_classification () =
           Alcotest.(check bool) (Printf.sprintf "render mentions %S" sub) true
             (contains sub))
         [ "REGRESSED"; "missing in current"; "missing in base";
-          "6 series compared" ];
+          "6 series compared"; "1 new in current"; "1 missing in current" ];
       Alcotest.(check bool) "unchanged rows not rendered" false
         (contains "flat")
 
