@@ -91,6 +91,9 @@ let spec =
       "FILE enable timeline tracing and write the merged event journal \
        as Chrome trace-event JSON (open in Perfetto or chrome://tracing) \
        to FILE; independent of --metrics, both can be given" );
+    ( "--trace-out",
+      Arg.Set_string trace_file,
+      "FILE alias for --trace (the CLI's spelling of the same flag)" );
     ( "--manifest",
       Arg.Set_string manifest_file,
       "FILE write a run provenance manifest (parameters, seed, git rev, \
@@ -313,6 +316,32 @@ let micro_tests ctx =
               ~mu:2.0 ~service_rate:5.3
           in
           ignore (Lrd_baselines.Ams.overflow_probability sys ~level:2.0));
+      (* Transform-domain superposition vs the brute N-fold convolution
+         ([Marginal.superpose]).  The brute baseline is measured at
+         N = 100 only — it is linear in N (N - 1 convolutions onto a
+         fixed support), so its 1e5 cost is the 1e2 number x1000; at
+         that size the exact engine's O(log N) spectrum squarings win
+         by three orders of magnitude (see EXPERIMENTS.md).  CI's
+         kernel gate watches the exact/edgeworth rows. *)
+      mk "superpose/brute-1e2" (fun () ->
+          ignore (Lrd_dist.Marginal.superpose (Data.mtv_marginal ctx) ~n:100));
+      mk "superpose/exact-1e3" (fun () ->
+          ignore
+            (Lrd_core.Superpose.superpose ~method_:Lrd_core.Superpose.Exact
+               (Data.mtv_marginal ctx) ~n:1000));
+      mk "superpose/exact-1e5" (fun () ->
+          ignore
+            (Lrd_core.Superpose.superpose ~method_:Lrd_core.Superpose.Exact
+               (Data.mtv_marginal ctx) ~n:100_000));
+      mk "superpose/edgeworth-1e5" (fun () ->
+          ignore
+            (Lrd_core.Superpose.superpose
+               ~method_:Lrd_core.Superpose.Edgeworth (Data.mtv_marginal ctx)
+               ~n:100_000));
+      mk "superpose/hetero-1e4" (fun () ->
+          ignore
+            (Lrd_core.Superpose.aggregate
+               (Fig11_scale.population ~n:10_000)));
     ]
   in
   (* Whole-surface sweep pair: the fig12 grid solved cold cell by cell
@@ -578,6 +607,7 @@ let scaling_figures =
     ("fig4", fun ctx -> ignore (Fig04.compute ctx));
     ("fig12", fun ctx -> ignore (Fig12.compute ctx));
     ("fig13", fun ctx -> ignore (Fig13.compute ctx));
+    ("fig11_scale", fun ctx -> ignore (Fig11_scale.compute ctx));
   ]
 
 let time_figure ~jobs run =
@@ -600,6 +630,20 @@ let time_figure ~jobs run =
 
 let run_scaling ~json () =
   let jobs_list = [ 1; 2; 4; 8 ] in
+  let cores = Domain.recommended_domain_count () in
+  (* Scaling rows are routinely compared across machines (the committed
+     BENCH_scaling.json vs a CI rerun), so a host too small to exercise
+     the pool sizes must be visible both at run time and in the data:
+     every JSON row carries the core count, and cramped hosts get a
+     stderr warning rather than silently reporting oversubscribed
+     "speedups". *)
+  if cores < 4 then
+    Printf.eprintf
+      "scaling: WARNING this host has only %d usable core%s; pool sizes \
+       beyond that measure oversubscription, not scaling - compare speedups \
+       against a same-\"cores\" baseline only\n%!"
+      cores
+      (if cores = 1 then "" else "s");
   let figures =
     if !only = [] then
       List.filter (fun (name, _) -> name = "fig12") scaling_figures
@@ -611,7 +655,7 @@ let run_scaling ~json () =
         Printf.printf
           "domain scaling on %s (%s grids, machine has %d cores)\n%!" figure
           (if !quick then "quick" else "full")
-          (Domain.recommended_domain_count ());
+          cores;
         Printf.printf "%8s %12s %10s\n%!" "jobs" "seconds" "speedup";
         let timed =
           List.map (fun jobs -> (jobs, time_figure ~jobs run)) jobs_list
@@ -632,9 +676,9 @@ let run_scaling ~json () =
     List.iteri
       (fun i (figure, jobs, seconds, speedup) ->
         Printf.fprintf oc
-          "  {\"figure\": %S, \"jobs\": %d, \"seconds\": %.3f, \
-           \"speedup\": %.3f}%s\n"
-          figure jobs seconds speedup
+          "  {\"figure\": %S, \"jobs\": %d, \"cores\": %d, \"seconds\": \
+           %.3f, \"speedup\": %.3f}%s\n"
+          figure jobs cores seconds speedup
           (if i = last then "" else ","))
       rows;
     output_string oc "]\n";

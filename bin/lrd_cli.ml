@@ -42,10 +42,11 @@ let buffer_arg =
   Arg.(value & opt float 1.0 & info [ "b"; "buffer" ] ~docv:"SECONDS" ~doc)
 
 let trace_file_arg =
-  let doc = "Trace file (as written by $(b,lrd trace)); its 50-bin \
+  let doc = "Input trace file (as written by $(b,lrd trace)); its 50-bin \
              histogram becomes the marginal and its mean rate-residence \
-             epoch sets theta." in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+             epoch sets theta.  (Not to be confused with $(b,--trace), \
+             which enables timeline tracing.)" in
+  Arg.(value & opt (some string) None & info [ "trace-file" ] ~docv:"FILE" ~doc)
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry plumbing shared by the compute-heavy subcommands.
@@ -73,20 +74,25 @@ let metrics_out_arg =
   Arg.(
     value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
-(* [--trace FILE] (spelled [--trace-out] on the subcommands where
-   [--trace] already names an input trace file) turns timeline tracing
-   on for the run and exports the merged journal as Chrome trace-event
-   JSON.  Tracing and metrics are independent switches: when both are
-   given, each output goes to its own destination (the trace never
-   lands on stdout). *)
-let trace_out_arg names =
+(* [--trace FILE] / [--trace-out FILE] — one shared argument, both
+   spellings accepted on every compute-heavy subcommand (input trace
+   files are [--trace-file], so the spellings never collide) — turns
+   timeline tracing on for the run and exports the merged journal as
+   Chrome trace-event JSON.  Tracing and metrics are independent
+   switches: when both are given, each output goes to its own
+   destination (the trace never lands on stdout). *)
+let trace_out_arg =
   let doc =
     "Enable timeline tracing for the run and write the merged event \
      journal to $(docv) as Chrome trace-event JSON (open it in Perfetto \
-     or chrome://tracing).  Independent of $(b,--metrics): giving both \
-     writes both, each to its own destination."
+     or chrome://tracing).  $(b,--trace-out) is an accepted alias.  \
+     Independent of $(b,--metrics): giving both writes both, each to \
+     its own destination."
   in
-  Arg.(value & opt (some string) None & info names ~docv:"FILE" ~doc)
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace"; "trace-out" ] ~docv:"FILE" ~doc)
 
 let with_telemetry ?trace_out format out f =
   let wanted = format <> None || out <> None in
@@ -131,7 +137,7 @@ let solve_cmd =
   in
   let marginal_arg =
     let doc = "Built-in marginal: mtv or bellcore (synthetic trace \
-               histograms).  Ignored when --trace is given." in
+               histograms).  Ignored when --trace-file is given." in
     Arg.(value & opt string "mtv" & info [ "marginal" ] ~docv:"NAME" ~doc)
   in
   let epoch_arg =
@@ -203,7 +209,7 @@ let solve_cmd =
         (const run $ quick_arg $ seed_arg $ utilization_arg $ buffer_arg
        $ hurst_arg $ cutoff_arg $ marginal_arg $ trace_file_arg $ epoch_arg
        $ metrics_format_arg $ metrics_out_arg
-       $ trace_out_arg [ "trace-out" ]))
+       $ trace_out_arg))
 
 (* ------------------------------------------------------------------ *)
 (* trace *)
@@ -422,7 +428,7 @@ let fit_cmd =
       ret
         (const run $ utilization_arg $ buffer_arg $ hurst_arg $ file_arg
        $ metrics_format_arg $ metrics_out_arg
-       $ trace_out_arg [ "trace-out" ]))
+       $ trace_out_arg))
 
 (* ------------------------------------------------------------------ *)
 (* ams *)
@@ -640,11 +646,12 @@ let experiment_cmd =
     let doc =
       "Error-budget policy for the scheduled figure sweeps: \
        $(b,uniform) converges every grid cell to the solver's own 20% \
-       gap target; $(b,contrast) (or $(b,contrast:D)) stops refining a \
-       cell once its certified upper bound sits D decades (default 2) \
-       below the largest lower bound on the surface, where it can no \
-       longer change the plotted contrast.  Either way every reported \
-       bound stays certified."
+       gap target; $(b,contrast:D) stops refining a cell once its \
+       certified upper bound sits D decades below the largest lower \
+       bound on the surface, where it can no longer change the plotted \
+       contrast.  Bare $(b,contrast) derives D from the figure's own \
+       loss axis: one decade below the smallest plotted value (floored \
+       at 2 decades).  Either way every reported bound stays certified."
     in
     Arg.(
       value
@@ -675,23 +682,20 @@ let experiment_cmd =
     Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE" ~doc)
   in
   let parse_gap_policy s iteration_budget =
-    let contrast d =
-      Ok
-        {
-          Lrd_experiments.Sweep.contrast_decades = Some d;
-          iteration_budget;
-        }
+    let contrast c =
+      Ok { Lrd_experiments.Sweep.contrast = Some c; iteration_budget }
     in
     match String.lowercase_ascii s with
     | "uniform" ->
-        Ok { Lrd_experiments.Sweep.contrast_decades = None; iteration_budget }
-    | "contrast" -> contrast 2.0
+        Ok { Lrd_experiments.Sweep.contrast = None; iteration_budget }
+    | "contrast" -> contrast Lrd_experiments.Sweep.From_axis
     | other -> (
         match String.index_opt other ':' with
         | Some i when String.sub other 0 i = "contrast" -> (
             let rest = String.sub other (i + 1) (String.length other - i - 1) in
             match float_of_string_opt rest with
-            | Some d when d > 0.0 && Float.is_finite d -> contrast d
+            | Some d when d > 0.0 && Float.is_finite d ->
+                contrast (Lrd_experiments.Sweep.Decades d)
             | _ ->
                 Error
                   (Printf.sprintf
@@ -703,8 +707,28 @@ let experiment_cmd =
                  "unknown --gap-policy %S (expected uniform, contrast or \
                   contrast:D)" s))
   in
-  let run quick seed jobs gap_policy iteration_budget metrics metrics_out
-      trace_out manifest ids =
+  let superpose_arg =
+    let doc =
+      "Aggregate-marginal construction for the superposition \
+       experiments: $(b,exact) forces the repeated-squaring \
+       transform-domain convolution, $(b,edgeworth) forces the \
+       cumulant-sum closed form, and $(b,auto) (the default) picks \
+       exact whenever the transform grid fits the cost model's cap."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("exact", Lrd_core.Superpose.Exact);
+               ("edgeworth", Lrd_core.Superpose.Edgeworth);
+               ("auto", Lrd_core.Superpose.Auto);
+             ])
+          Lrd_core.Superpose.Auto
+      & info [ "superpose" ] ~docv:"METHOD" ~doc)
+  in
+  let run quick seed jobs gap_policy iteration_budget superpose metrics
+      metrics_out trace_out manifest ids =
     with_telemetry ?trace_out metrics metrics_out @@ fun () ->
     match
       match parse_gap_policy gap_policy iteration_budget with
@@ -713,7 +737,7 @@ let experiment_cmd =
           try
             Ok
               (Lrd_experiments.Data.create ~seed ~jobs ~gap_policy:policy
-                 ~quick ())
+                 ~superpose ~quick ())
           with Invalid_argument msg -> Error msg)
     with
     | Error msg -> `Error (false, msg)
@@ -745,9 +769,8 @@ let experiment_cmd =
     Term.(
       ret
         (const run $ quick_arg $ seed_arg $ jobs_arg $ gap_policy_arg
-       $ iteration_budget_arg $ metrics_format_arg $ metrics_out_arg
-       $ trace_out_arg [ "trace"; "trace-out" ]
-       $ manifest_arg $ ids_arg))
+       $ iteration_budget_arg $ superpose_arg $ metrics_format_arg
+       $ metrics_out_arg $ trace_out_arg $ manifest_arg $ ids_arg))
 
 (* ------------------------------------------------------------------ *)
 (* metrics diff *)

@@ -3,6 +3,7 @@ type t = {
   seed : int64;
   jobs : int;
   gap_policy : Sweep.gap_policy;
+  superpose : Lrd_core.Superpose.method_;
   pool : Lrd_parallel.Pool.t option;
   lock : Mutex.t;
       (* [Lazy.force] is not domain-safe (a second forcer raises
@@ -34,7 +35,7 @@ let pool_of_jobs jobs =
       else Some (Lrd_parallel.Pool.create ~workers:(j - 1) ())
 
 let create ?(seed = 20260705L) ?jobs ?(gap_policy = Sweep.uniform_policy)
-    ~quick () =
+    ?(superpose = Lrd_core.Superpose.Auto) ~quick () =
   let pool = pool_of_jobs jobs in
   let rng = Lrd_rng.Rng.create ~seed in
   let mtv_rng = Lrd_rng.Rng.split rng in
@@ -60,6 +61,7 @@ let create ?(seed = 20260705L) ?jobs ?(gap_policy = Sweep.uniform_policy)
     seed;
     jobs = (match pool with None -> 1 | Some p -> Lrd_parallel.Pool.parallelism p);
     gap_policy;
+    superpose;
     pool;
     lock = Mutex.create ();
     mtv;
@@ -74,6 +76,7 @@ let quick t = t.quick
 let seed t = t.seed
 let jobs t = t.jobs
 let gap_policy t = t.gap_policy
+let superpose_method t = t.superpose
 let pool t = t.pool
 
 let teardown t =
@@ -126,14 +129,21 @@ let manifest_fields t =
       Obj
         [
           ( "contrast_decades",
-            match t.gap_policy.Sweep.contrast_decades with
+            match t.gap_policy.Sweep.contrast with
             | None -> Null
-            | Some d -> Num d );
+            | Some (Sweep.Decades d) -> Num d
+            | Some Sweep.From_axis -> Str "from-axis" );
           ( "iteration_budget",
             match t.gap_policy.Sweep.iteration_budget with
             | None -> Null
             | Some b -> Num (float_of_int b) );
         ] );
+    ( "superpose",
+      Str
+        (match t.superpose with
+        | Lrd_core.Superpose.Exact -> "exact"
+        | Lrd_core.Superpose.Edgeworth -> "edgeworth"
+        | Lrd_core.Superpose.Auto -> "auto") );
     (* How cell randomness derives from the seed — fixed by the
        determinism contract, recorded so a manifest is self-describing. *)
     ("rng_splits", Str "per-cell Rng.split_indexed on the cell index");

@@ -17,6 +17,7 @@ val create :
   ?seed:int64 ->
   ?jobs:int ->
   ?gap_policy:Sweep.gap_policy ->
+  ?superpose:Lrd_core.Superpose.method_ ->
   quick:bool ->
   unit ->
   t
@@ -27,7 +28,10 @@ val create :
     pool of [j - 1] worker domains plus the calling domain.  Call
     {!teardown} when done with a context whose [jobs <> 1].
     [gap_policy] (default {!Sweep.uniform_policy}) is the error-budget
-    policy the scheduled figure sweeps run under.
+    policy the scheduled figure sweeps run under.  [superpose] (default
+    [Auto]) selects the aggregate-marginal construction the
+    superposition experiments use ({!Lrd_core.Superpose.method_} — the
+    CLI's [--superpose] lever).
     @raise Invalid_argument when [jobs] is negative. *)
 
 val quick : t -> bool
@@ -44,6 +48,10 @@ val pool : t -> Lrd_parallel.Pool.t option
 val gap_policy : t -> Sweep.gap_policy
 (** The error-budget policy for this context's scheduled sweeps
     (uniform unless overridden at {!create}). *)
+
+val superpose_method : t -> Lrd_core.Superpose.method_
+(** The aggregate-marginal construction for superposition experiments
+    ([Auto] unless overridden at {!create}). *)
 
 val teardown : t -> unit
 (** Shuts down the pool's worker domains (idempotent; no-op for

@@ -47,6 +47,7 @@ let extensions =
     entry Ext_control.id Ext_control.title Ext_control.run;
     entry Ext_priority.id Ext_priority.title Ext_priority.run;
     entry Ext_confidence.id Ext_confidence.title Ext_confidence.run;
+    entry Fig11_scale.id Fig11_scale.title Fig11_scale.run;
   ]
 
 let all = figures @ ablations @ extensions

@@ -94,12 +94,14 @@ let cell_key x = Printf.sprintf "%h" x
    pool size, exactly like [surface].  The pool only changes which
    domain runs a given slice. *)
 
+type contrast = Decades of float | From_axis
+
 type gap_policy = {
-  contrast_decades : float option;
+  contrast : contrast option;
   iteration_budget : int option;
 }
 
-let uniform_policy = { contrast_decades = None; iteration_budget = None }
+let uniform_policy = { contrast = None; iteration_budget = None }
 
 let m_warm_starts = Lrd_obs.Obs.Counter.make "sweep/warm_starts"
 let m_iterations_saved = Lrd_obs.Obs.Counter.make "sweep/iterations_saved"
@@ -188,7 +190,38 @@ let scheduled_surface (type a b) ?pool ?(policy = uniform_policy)
        surface so far cannot move its own pixel — every further
        iteration would only narrow an invisibly small value. *)
     let apply_contrast () =
-      match policy.contrast_decades with
+      let decades =
+        match policy.contrast with
+        | None -> None
+        | Some (Decades d) -> Some d
+        | Some From_axis ->
+            (* Derive the contrast from the loss axis itself: the
+               certified lower bounds of finished cells span the
+               plotted range, and a cell more than one decade below
+               the smallest plotted value sits off the bottom of the
+               axis.  Until at least one cell has finished with a
+               positive bound there is no axis to read, so no cut is
+               applied — the derivation only ever sees settled values
+               and is a pure function of the states, keeping rounds
+               deterministic.  The legacy fixed default (2 decades)
+               is the floor so a near-flat axis never turns the rule
+               into a hair trigger. *)
+            let lmax = ref 0.0 and lmin = ref Float.infinity in
+            Array.iter
+              (function
+                | Some st when State.finished st ->
+                    let lo, _ = State.bounds st in
+                    if Float.is_finite lo && lo > 0.0 then begin
+                      if lo > !lmax then lmax := lo;
+                      if lo < !lmin then lmin := lo
+                    end
+                | _ -> ())
+              states;
+            if !lmax > 0.0 then
+              Some (Float.max 2.0 (Float.log10 (!lmax /. !lmin) +. 1.0))
+            else None
+      in
+      match decades with
       | None -> ()
       | Some decades ->
           let floor_lower = ref 0.0 in

@@ -61,13 +61,26 @@ val cell_key : float -> string
     including infinity, which is what {!Lrd_core.Workload.Cache}
     requires. *)
 
+type contrast =
+  | Decades of float
+      (** A fixed contrast window: stop refining a cell once its
+          certified upper bound sits this many decades below the
+          largest lower bound anywhere on the surface. *)
+  | From_axis
+      (** Derive the window from the figure's own loss axis: the
+          certified lower bounds of finished cells span the plotted
+          range, and the cut falls one decade below the smallest
+          plotted value — anything smaller is off the bottom of the
+          axis.  Floored at the fixed default of 2 decades; no cut is
+          applied until at least one cell has finished with a positive
+          bound.  The derivation reads only settled solver states, so
+          scheduling stays deterministic. *)
+
 type gap_policy = {
-  contrast_decades : float option;
-      (** Stop refining a cell once its certified upper bound sits this
-          many decades below the largest lower bound anywhere on the
-          surface: its exact value can no longer change the plotted
-          contrast.  [None] (the default) converges every cell to the
-          solver's own gap target. *)
+  contrast : contrast option;
+      (** Stop refining cells whose exact value can no longer change
+          the plotted contrast.  [None] (the default) converges every
+          cell to the solver's own gap target. *)
   iteration_budget : int option;
       (** Hard cap on the total chain iterations the whole surface may
           spend; when it runs out every remaining cell is stopped with

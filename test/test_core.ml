@@ -1061,6 +1061,136 @@ let prop_covariance_nonnegative_decreasing =
         ts;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Transform-domain superposition *)
+
+(* The repeated-squaring kernel against the brute N-fold convolution
+   chain the solver engine already trusts: same pmf convolved with
+   itself n - 1 times through a planned Convolution.execute_real. *)
+let prop_self_convolve_matches_brute =
+  QCheck.Test.make ~name:"self_convolve matches brute N-fold convolution"
+    ~count:60
+    (QCheck.make
+       ~print:QCheck.Print.(pair (list float) int)
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 2 16) (float_bound_inclusive 1.0))
+           (int_range 2 64)))
+    (fun (weights, n) ->
+      let pmf = Array.of_list (List.map (fun w -> w +. 0.01) weights) in
+      let total = Array.fold_left ( +. ) 0.0 pmf in
+      Array.iteri (fun i w -> pmf.(i) <- w /. total) pmf;
+      let len = Array.length pmf in
+      let out_len = (n * (len - 1)) + 1 in
+      let plan =
+        Lrd_numerics.Convolution.make_real_plan ~kernel:pmf
+          ~max_signal:(out_len - len + 1) ()
+      in
+      let brute = ref (Array.copy pmf) in
+      let dst = Array.make out_len 0.0 in
+      for _ = 2 to n do
+        Lrd_numerics.Convolution.execute_real plan !brute ~dst;
+        brute := Array.sub dst 0 (Array.length !brute + len - 1)
+      done;
+      let fast = Superpose.self_convolve ~pmf ~n in
+      Array.length fast = out_len
+      && Array.for_all2
+           (fun a b -> Float.abs (a -. Float.max 0.0 b) <= 1e-12)
+           fast !brute)
+
+let test_superpose_exact_binomial () =
+  (* Two on/off sources: the aggregate is Binomial(2, 0.3) on rates
+     {0, 1/2, 1} after per-source renormalization. *)
+  let base = Lrd_dist.Marginal.of_points [ (0.0, 0.7); (1.0, 0.3) ] in
+  let m = Superpose.superpose ~method_:Superpose.Exact base ~n:2 in
+  check_close ~eps:1e-12 "mean" 0.3 (Lrd_dist.Marginal.mean m);
+  check_close ~eps:1e-9 "P{rate <= 0.1}" 0.49 (Lrd_dist.Marginal.cdf m 0.1);
+  check_close ~eps:1e-9 "P{rate <= 0.6}" 0.91 (Lrd_dist.Marginal.cdf m 0.6);
+  check_close ~eps:1e-12 "total mass" 1.0 (Lrd_dist.Marginal.cdf m 1.0)
+
+let test_superpose_heterogeneous_mean () =
+  (* Aggregate cumulants add across classes; the per-source mean of the
+     mix must come out exactly, on both paths. *)
+  let a = Lrd_dist.Marginal.of_points [ (0.0, 0.9); (1.0, 0.1) ] in
+  let b = Lrd_dist.Marginal.of_points [ (0.0, 0.95); (16.0, 0.05) ] in
+  let classes = [ (a, 60); (b, 10) ] in
+  let target = ((60.0 *. 0.1) +. (10.0 *. 16.0 *. 0.05)) /. 70.0 in
+  let exact = Superpose.aggregate ~method_:Superpose.Exact classes in
+  let edge = Superpose.aggregate ~method_:Superpose.Edgeworth classes in
+  check_close ~eps:1e-12 "exact mean" target (Lrd_dist.Marginal.mean exact);
+  check_close ~eps:1e-12 "edgeworth mean" target (Lrd_dist.Marginal.mean edge)
+
+let test_superpose_edgeworth_tail_agreement () =
+  (* N = 10^4 on/off sources: the exact transform-domain aggregate
+     (Binomial(10^4, 0.3)) against the Edgeworth closed form.  The
+     documented tolerance (EXPERIMENTS.md): 5e-4 absolute on the
+     3-sigma upper tail mass, means equal to 1e-12, stds within 1%. *)
+  let base = Lrd_dist.Marginal.of_points [ (0.0, 0.7); (1.0, 0.3) ] in
+  let n = 10_000 in
+  Alcotest.(check bool) "cost model picks exact at 1e4" true
+    (Superpose.decide [ (base, n) ] = Superpose.Exact);
+  let exact = Superpose.superpose ~method_:Superpose.Exact base ~n in
+  let edge = Superpose.superpose ~method_:Superpose.Edgeworth base ~n in
+  check_close ~eps:1e-12 "exact mean" 0.3 (Lrd_dist.Marginal.mean exact);
+  check_close ~eps:1e-12 "edgeworth mean" 0.3 (Lrd_dist.Marginal.mean edge);
+  let sx = Lrd_dist.Marginal.std exact
+  and se = Lrd_dist.Marginal.std edge in
+  Alcotest.(check bool) "stds within 1%" true
+    (Float.abs (sx -. se) <= 0.01 *. sx);
+  let threshold = 0.3 +. (3.0 *. sx) in
+  let tail m = 1.0 -. Lrd_dist.Marginal.cdf m threshold in
+  let tx = tail exact and te = tail edge in
+  Alcotest.(check bool) "tails are nontrivial" true (tx > 1e-4 && te > 1e-4);
+  Alcotest.(check bool) "tail masses agree to 5e-4" true
+    (Float.abs (tx -. te) <= 5e-4)
+
+let test_superpose_cost_model () =
+  let base = Lrd_dist.Marginal.of_points [ (0.0, 0.7); (1.0, 0.3) ] in
+  Alcotest.(check bool) "small N exact" true
+    (Superpose.decide [ (base, 1_000) ] = Superpose.Exact);
+  Alcotest.(check bool) "huge N edgeworth" true
+    (Superpose.decide [ (base, 100_000) ] = Superpose.Edgeworth);
+  Alcotest.(check bool) "constant class exact" true
+    (Superpose.decide [ (Lrd_dist.Marginal.constant 2.0, 1_000_000) ]
+    = Superpose.Exact)
+
+let test_superpose_spectrum_multiply_count () =
+  (* Binary exponentiation: one squaring per bit below the msb plus one
+     multiply per set bit — 1000 = 0b1111101000 costs 9 + 6 = 15. *)
+  Lrd_obs.Obs.set_enabled true;
+  Lrd_obs.Obs.reset ();
+  let base = Lrd_dist.Marginal.of_points [ (0.0, 0.7); (1.0, 0.3) ] in
+  ignore (Superpose.superpose ~method_:Superpose.Exact base ~n:1000);
+  let snapshot = Lrd_obs.Obs.snapshot () in
+  Lrd_obs.Obs.set_enabled false;
+  Lrd_obs.Obs.reset ();
+  let counter name =
+    match Lrd_obs.Obs.find snapshot name with
+    | Some (Lrd_obs.Obs.Counter { total; _ }) -> total
+    | _ -> Alcotest.failf "counter %s missing" name
+  in
+  Alcotest.(check int) "spectrum multiplies" 15
+    (counter "superpose/spectrum_multiplies");
+  Alcotest.(check int) "exact path taken" 1
+    (counter "superpose/exact_path_taken");
+  Alcotest.(check int) "fast path not taken" 0
+    (counter "superpose/fast_path_taken")
+
+let test_superpose_rejects_bad_input () =
+  let base = Lrd_dist.Marginal.of_points [ (0.0, 0.7); (1.0, 0.3) ] in
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Superpose: empty class list") (fun () ->
+      ignore (Superpose.aggregate []));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Superpose: negative class count") (fun () ->
+      ignore (Superpose.aggregate [ (base, -1) ]));
+  Alcotest.check_raises "all zero"
+    (Invalid_argument "Superpose: all class counts are zero") (fun () ->
+      ignore (Superpose.aggregate [ (base, 0) ]));
+  Alcotest.check_raises "n < 1"
+    (Invalid_argument "Superpose.superpose: n must be >= 1") (fun () ->
+      ignore (Superpose.superpose base ~n:0))
+
 let () =
   let qcheck = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "core"
@@ -1217,6 +1347,21 @@ let () =
           Alcotest.test_case "empirical flattening (solver)" `Slow
             test_horizon_empirical_vs_solver;
         ] );
+      ( "superpose",
+        qcheck [ prop_self_convolve_matches_brute ]
+        @ [
+            Alcotest.test_case "exact binomial (n = 2)" `Quick
+              test_superpose_exact_binomial;
+            Alcotest.test_case "heterogeneous mean restoration" `Quick
+              test_superpose_heterogeneous_mean;
+            Alcotest.test_case "edgeworth vs exact tail (N = 1e4)" `Slow
+              test_superpose_edgeworth_tail_agreement;
+            Alcotest.test_case "cost model" `Quick test_superpose_cost_model;
+            Alcotest.test_case "spectrum multiply count" `Quick
+              test_superpose_spectrum_multiply_count;
+            Alcotest.test_case "rejects bad input" `Quick
+              test_superpose_rejects_bad_input;
+          ] );
       ( "properties",
         qcheck
           [

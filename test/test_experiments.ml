@@ -434,9 +434,7 @@ let test_scheduled_budget_stops_everywhere_certified () =
   let ctx = Lazy.force ctx in
   let scalings = Sweep.scalings ~quick:true () in
   let buffers = Sweep.buffers ~quick:true ~max_seconds:5.0 () in
-  let policy =
-    { Sweep.contrast_decades = None; iteration_budget = Some 200 }
-  in
+  let policy = { Sweep.contrast = None; iteration_budget = Some 200 } in
   let cells =
     Sweep.scheduled_surface ~policy ~slice:64 ~xs:scalings ~ys:buffers
       ~state:(fun a b -> fig12_cell ctx a ~buffer_seconds:b)
@@ -475,6 +473,70 @@ let test_scheduled_matches_uniform_sweep_losses () =
             && c.S.lower_bound <= w.S.upper_bound +. 1e-12))
         row)
     scheduled
+
+let test_scheduled_from_axis_certified () =
+  (* The axis-derived contrast policy (bare `--gap-policy contrast`)
+     must leave every cell certified: the cut can widen intervals below
+     the window but never invalidate them, and cells inside the window
+     still converge to the uniform target. *)
+  let module S = Lrd_core.Solver in
+  let ctx = Lazy.force ctx in
+  let scalings = Sweep.scalings ~quick:true () in
+  let buffers = Sweep.buffers ~quick:true ~max_seconds:5.0 () in
+  let policy = { Sweep.contrast = Some Sweep.From_axis; iteration_budget = None } in
+  let cells =
+    Sweep.scheduled_surface ~policy ~xs:scalings ~ys:buffers
+      ~state:(fun a b -> fig12_cell ctx a ~buffer_seconds:b)
+      ()
+  in
+  let converged = ref 0 in
+  Array.iter
+    (Array.iter (fun (r : S.result) ->
+         if r.S.converged then incr converged;
+         Alcotest.(check bool) "from-axis cell certified" true
+           (r.S.lower_bound <= r.S.upper_bound
+           && r.S.lower_bound >= 0.0
+           && Float.is_finite r.S.upper_bound)))
+    cells;
+  Alcotest.(check bool) "some cells converge" true (!converged > 0)
+
+(* ------------------------------------------------------------------ *)
+(* fig11_scale: superposition at production scale *)
+
+let test_fig11_scale_population_partition () =
+  List.iter
+    (fun n ->
+      let classes = Fig11_scale.population ~n in
+      let total = List.fold_left (fun acc (_, c) -> acc + c) 0 classes in
+      Alcotest.(check int)
+        (Printf.sprintf "counts sum to %d" n)
+        n total;
+      List.iter
+        (fun (_, c) ->
+          Alcotest.(check bool) "count nonnegative" true (c >= 0))
+        classes)
+    [ 1; 7; 10; 99; 1000; 12_345 ];
+  Alcotest.check_raises "rejects n = 0"
+    (Invalid_argument "Fig11_scale.population: n must be >= 1") (fun () ->
+      ignore (Fig11_scale.population ~n:0))
+
+let test_fig11_scale_loss_decreases_with_n () =
+  (* The figure's whole point: at fixed utilization, multiplexing more
+     sources decreases the certified loss along every Hurst row. *)
+  let ctx = Lazy.force ctx in
+  let s = Fig11_scale.compute ctx in
+  Array.iteri
+    (fun iy row ->
+      Array.iteri
+        (fun ix v ->
+          if ix > 0 then
+            Alcotest.(check bool)
+              (Printf.sprintf "loss(H=%g) nonincreasing at N=%g" s.Table.ys.(iy)
+                 s.Table.xs.(ix))
+              true
+              (v <= row.(ix - 1) +. 1e-12))
+        row)
+    s.Table.cells
 
 let () =
   Alcotest.run "experiments"
@@ -547,5 +609,14 @@ let () =
             test_scheduled_budget_stops_everywhere_certified;
           Alcotest.test_case "matches uniform sweep" `Slow
             test_scheduled_matches_uniform_sweep_losses;
+          Alcotest.test_case "from-axis contrast stays certified" `Slow
+            test_scheduled_from_axis_certified;
+        ] );
+      ( "fig11_scale",
+        [
+          Alcotest.test_case "population partitions exactly" `Quick
+            test_fig11_scale_population_partition;
+          Alcotest.test_case "loss decreases with N" `Slow
+            test_fig11_scale_loss_decreases_with_n;
         ] );
     ]
