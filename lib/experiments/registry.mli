@@ -5,6 +5,10 @@
 type entry = {
   id : string;  (** Stable identifier, e.g. "fig4" or "abl-shuffle". *)
   title : string;
+  shardable : bool;
+      (** Every grid of this figure goes through
+          {!Sweep.scheduled_surface}, so a {!Shard} handle can slice
+          and replay it ([lrd experiment --shard/--shards/--merge]). *)
   run : Data.t -> Format.formatter -> unit;
 }
 
@@ -25,11 +29,22 @@ val all : entry list
 val find : string -> entry option
 
 val run :
-  ?only:string list -> ?manifest:string -> Data.t -> Format.formatter -> unit
+  ?only:string list ->
+  ?manifest:string ->
+  ?results:string ->
+  Data.t ->
+  Format.formatter ->
+  unit
 (** Runs the selected entries (all by default) in registry order,
     printing each.  Unknown ids in [only] raise [Invalid_argument].
 
     [?manifest] writes a run provenance manifest ({!Lrd_obs.Manifest})
     to the given path after the run: the selected figure ids, the
     context's full parameter set ({!Data.manifest_fields}), wall time,
-    and — when telemetry is enabled — the final metrics snapshot. *)
+    and — when telemetry is enabled — the final metrics snapshot.
+
+    [?results] additionally tees each figure's pure output to the given
+    file, {e excluding} the per-figure ["[... completed in N s CPU]"]
+    wall-time line — so two runs with the same parameters produce
+    byte-identical results files, which is how the shard-equivalence
+    gate compares a merged shard set against the whole run. *)

@@ -1,0 +1,569 @@
+module Json = Lrd_obs.Json
+module Obs = Lrd_obs.Obs
+
+type spec = { index : int; count : int }
+
+let spec_string s = Printf.sprintf "%d/%d" s.index s.count
+
+let parse_spec s =
+  let fail () =
+    Error
+      (Printf.sprintf "expected K/N with 1 <= K <= N (e.g. 2/4), got %S" s)
+  in
+  match String.index_opt s '/' with
+  | None -> fail ()
+  | Some i -> (
+      let k = String.sub s 0 i
+      and n = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt k, int_of_string_opt n) with
+      | Some index, Some count when 1 <= index && index <= count ->
+          Ok { index; count }
+      | _ -> fail ())
+
+(* A recorded surface: only the owned rows in [Compute] mode, every row
+   after a merge.  Rows are kept sorted by [iy]. *)
+type grid = { nx : int; ny : int; rows : (int * Lrd_core.Solver.result array) list }
+
+type mode =
+  | Compute of { spec : spec; mutable recorded : grid list (* reversed *) }
+  | Replay of { mutable pending : grid list }
+
+type t = { mode : mode }
+
+let compute spec = { mode = Compute { spec; recorded = [] } }
+let spec t = match t.mode with Compute c -> Some c.spec | Replay _ -> None
+let is_replay t = match t.mode with Replay _ -> true | Compute _ -> false
+
+let row_owner ~count iy = (iy mod count) + 1
+
+let owns_row t ~iy =
+  match t.mode with
+  | Replay _ -> true
+  | Compute c -> row_owner ~count:c.spec.count iy = c.spec.index
+
+let absent_result =
+  {
+    Lrd_core.Solver.loss = Float.nan;
+    lower_bound = Float.nan;
+    upper_bound = Float.nan;
+    iterations = 0;
+    bins = 0;
+    refinements = 0;
+    converged = false;
+  }
+
+let record_grid t ~nx ~ny results =
+  match t.mode with
+  | Replay _ -> ()
+  | Compute c ->
+      let rows = ref [] in
+      for iy = ny - 1 downto 0 do
+        if row_owner ~count:c.spec.count iy = c.spec.index then
+          rows := (iy, Array.copy results.(iy)) :: !rows
+      done;
+      c.recorded <- { nx; ny; rows = !rows } :: c.recorded
+
+let replay_grid t ~nx ~ny =
+  match t.mode with
+  | Compute _ -> failwith "Shard.replay_grid: handle is in compute mode"
+  | Replay r -> (
+      match r.pending with
+      | [] -> failwith "Shard.replay_grid: merged store exhausted"
+      | g :: rest ->
+          if g.nx <> nx || g.ny <> ny then
+            failwith
+              (Printf.sprintf
+                 "Shard.replay_grid: stored grid is %dx%d, figure asked for \
+                  %dx%d"
+                 g.nx g.ny nx ny);
+          r.pending <- rest;
+          Array.init ny (fun iy ->
+              match List.assoc_opt iy g.rows with
+              | Some cells -> Array.copy cells
+              | None -> failwith "Shard.replay_grid: merged grid missing a row"))
+
+let grid_cells g = List.length g.rows * g.nx
+
+let cell_count t =
+  let grids =
+    match t.mode with Compute c -> c.recorded | Replay r -> r.pending
+  in
+  List.fold_left (fun acc g -> acc + grid_cells g) 0 grids
+
+(* ------------------------------------------------------------------ *)
+(* Provenance digest *)
+
+let digest ~figure fields =
+  (* "jobs" never changes a figure value (the pool determinism
+     contract), so shards may run at different parallelism; everything
+     else — seed, quick, policy, solver parameters, grids — must match
+     bit for bit before a merge is allowed. *)
+  let fields = List.filter (fun (k, _) -> k <> "jobs") fields in
+  Digest.to_hex
+    (Digest.string (figure ^ "\x00" ^ Json.to_string (Json.Obj fields)))
+
+(* ------------------------------------------------------------------ *)
+(* File layout *)
+
+let cells_schema = "lrd-shard-cells/1"
+let stem s = Printf.sprintf "shard-%d-of-%d" s.index s.count
+let cells_path ~dir s = Filename.concat dir (stem s ^ ".cells.json")
+let manifest_path ~dir s = Filename.concat dir (stem s ^ ".manifest.json")
+let metrics_path ~dir s = Filename.concat dir (stem s ^ ".metrics.json")
+let results_path ~dir s = Filename.concat dir (stem s ^ ".results.txt")
+let log_path ~dir s = Filename.concat dir (stem s ^ ".log")
+let merged_results_path ~dir = Filename.concat dir "merged.results.txt"
+let merged_metrics_path ~dir = Filename.concat dir "merged.metrics.json"
+
+(* ------------------------------------------------------------------ *)
+(* Serialization.  Floats are written as "%h" hex literals: the merge
+   must reproduce the whole run bit for bit, and hex round-trips every
+   finite double exactly (nan/infinity print and parse as such). *)
+
+let hex f = Printf.sprintf "%h" f
+let inum i = Json.Num (float_of_int i)
+
+let result_to_json (r : Lrd_core.Solver.result) =
+  Json.Obj
+    [
+      ("loss", Json.Str (hex r.loss));
+      ("lower_bound", Str (hex r.lower_bound));
+      ("upper_bound", Str (hex r.upper_bound));
+      ("iterations", inum r.iterations);
+      ("bins", inum r.bins);
+      ("refinements", inum r.refinements);
+      ("converged", Bool r.converged);
+    ]
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let int_member key v =
+  match Json.member key v with
+  | Some (Json.Num f) when Float.is_integer f -> int_of_float f
+  | _ -> bad "missing or non-integer %S field" key
+
+let str_member key v =
+  match Json.member key v with
+  | Some (Json.Str s) -> s
+  | _ -> bad "missing or non-string %S field" key
+
+let hex_member key v =
+  let s = str_member key v in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> bad "field %S is not a float literal: %S" key s
+
+let bool_member key v =
+  match Json.member key v with
+  | Some (Json.Bool b) -> b
+  | _ -> bad "missing or non-boolean %S field" key
+
+let list_member key v =
+  match Json.member key v with
+  | Some (Json.List l) -> l
+  | _ -> bad "missing or non-array %S field" key
+
+let result_of_json v =
+  {
+    Lrd_core.Solver.loss = hex_member "loss" v;
+    lower_bound = hex_member "lower_bound" v;
+    upper_bound = hex_member "upper_bound" v;
+    iterations = int_member "iterations" v;
+    bins = int_member "bins" v;
+    refinements = int_member "refinements" v;
+    converged = bool_member "converged" v;
+  }
+
+let grid_to_json g =
+  Json.Obj
+    [
+      ("nx", inum g.nx);
+      ("ny", inum g.ny);
+      ( "rows",
+        List
+          (List.map
+             (fun (iy, cells) ->
+               Json.Obj
+                 [
+                   ("iy", inum iy);
+                   ( "cells",
+                     List
+                       (Array.to_list (Array.map result_to_json cells)) );
+                 ])
+             g.rows) );
+    ]
+
+let grid_of_json v =
+  let nx = int_member "nx" v and ny = int_member "ny" v in
+  if nx < 1 || ny < 1 then bad "grid shape %dx%d is not positive" nx ny;
+  let rows =
+    List.map
+      (fun rv ->
+        let iy = int_member "iy" rv in
+        if iy < 0 || iy >= ny then bad "row index %d outside 0..%d" iy (ny - 1);
+        let cells =
+          Array.of_list (List.map result_of_json (list_member "cells" rv))
+        in
+        if Array.length cells <> nx then
+          bad "row %d has %d cells, grid is %d wide" iy (Array.length cells)
+            nx;
+        (iy, cells))
+      (list_member "rows" v)
+  in
+  { nx; ny; rows }
+
+let recorded_grids t =
+  match t.mode with
+  | Compute c -> List.rev c.recorded
+  | Replay r -> r.pending
+
+let cells_json t ~figure ~digest =
+  let s =
+    match spec t with
+    | Some s -> s
+    | None -> invalid_arg "Shard.cells_json: handle is in replay mode"
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str cells_schema);
+      ("figure", Str figure);
+      ("index", inum s.index);
+      ("count", inum s.count);
+      ("params_digest", Str digest);
+      ("grids", List (List.map grid_to_json (recorded_grids t)));
+    ]
+
+let write_cells t ~dir ~figure ~digest =
+  let s = Option.get (spec t) in
+  Json.to_file ~pretty:true (cells_path ~dir s) (cells_json t ~figure ~digest)
+
+let shard_section t ~figure ~digest =
+  let s =
+    match spec t with
+    | Some s -> s
+    | None -> invalid_arg "Shard.shard_section: handle is in replay mode"
+  in
+  [
+    ( "shard",
+      Json.Obj
+        [
+          ("figure", Json.Str figure);
+          ("index", inum s.index);
+          ("count", inum s.count);
+          ("params_digest", Str digest);
+          ("cells", inum (cell_count t));
+          ( "grids",
+            List
+              (List.map
+                 (fun g -> Json.Obj [ ("nx", inum g.nx); ("ny", inum g.ny) ])
+                 (recorded_grids t)) );
+        ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Merge *)
+
+let parse_one ~figure ~digest v =
+  (match Json.member "schema" v with
+  | Some (Json.Str s) when s = cells_schema -> ()
+  | Some (Json.Str s) -> bad "unknown shard cells schema %S" s
+  | _ -> bad "missing schema tag");
+  let fig = str_member "figure" v in
+  if fig <> figure then bad "shard is for figure %S, merging %S" fig figure;
+  let d = str_member "params_digest" v in
+  if d <> digest then
+    bad
+      "parameter digest mismatch: shard has %s, this run has %s (same seed, \
+       quick flag, gap policy and solver parameters are required)"
+      d digest;
+  let index = int_member "index" v and count = int_member "count" v in
+  if not (1 <= index && index <= count) then
+    bad "invalid shard index %d of %d" index count;
+  let spec = { index; count } in
+  let grids = List.map grid_of_json (list_member "grids" v) in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun (iy, _) ->
+          if row_owner ~count iy <> index then
+            bad "shard %s carries row %d, owned by shard %d"
+              (spec_string spec) iy (row_owner ~count iy))
+        g.rows)
+    grids;
+  (spec, grids)
+
+let of_cells_json ~figure ~digest values =
+  try
+    let shards = List.map (parse_one ~figure ~digest) values in
+    (match shards with
+    | [] -> bad "no shard cells files to merge"
+    | ({ count; _ }, _) :: rest ->
+        List.iter
+          (fun (s, _) ->
+            if s.count <> count then
+              bad "mixed shard counts: %d and %d" count s.count)
+          rest;
+        let seen = Array.make (count + 1) false in
+        List.iter
+          (fun (s, _) ->
+            if seen.(s.index) then bad "duplicate shard %s" (spec_string s);
+            seen.(s.index) <- true)
+          shards;
+        for k = 1 to count do
+          if not seen.(k) then bad "missing shard %d/%d" k count
+        done);
+    let count = (fst (List.hd shards)).count in
+    let ngrids = List.length (snd (List.hd shards)) in
+    List.iter
+      (fun (s, gs) ->
+        if List.length gs <> ngrids then
+          bad "shard %s recorded %d grids, expected %d" (spec_string s)
+            (List.length gs) ngrids)
+      shards;
+    let by_index = Array.make (count + 1) [] in
+    List.iter (fun (s, gs) -> by_index.(s.index) <- gs) shards;
+    let merged =
+      List.init ngrids (fun g ->
+          let shape = List.nth by_index.(1) g in
+          List.iter
+            (fun (s, gs) ->
+              let gg = List.nth gs g in
+              if gg.nx <> shape.nx || gg.ny <> shape.ny then
+                bad "shard %s grid %d is %dx%d, shard 1's is %dx%d"
+                  (spec_string s) g gg.nx gg.ny shape.nx shape.ny)
+            shards;
+          let rows =
+            List.init shape.ny (fun iy ->
+                let owner = row_owner ~count iy in
+                match List.assoc_opt iy (List.nth by_index.(owner) g).rows with
+                | Some cells -> (iy, cells)
+                | None ->
+                    bad "shard %d/%d is missing its row %d of grid %d" owner
+                      count iy g)
+          in
+          { nx = shape.nx; ny = shape.ny; rows })
+    in
+    let per_shard =
+      List.map
+        (fun (s, gs) ->
+          (s, List.fold_left (fun acc g -> acc + grid_cells g) 0 gs))
+        shards
+    in
+    let per_shard =
+      List.sort (fun (a, _) (b, _) -> compare a.index b.index) per_shard
+    in
+    Ok ({ mode = Replay { pending = merged } }, per_shard)
+  with Bad msg -> Error msg
+
+let shard_cells_files dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.sort String.compare entries;
+      Array.to_list entries
+      |> List.filter (fun name ->
+             String.length name > 17
+             && String.sub name 0 6 = "shard-"
+             && Filename.check_suffix name ".cells.json")
+      |> List.map (Filename.concat dir)
+  | exception Sys_error msg -> failwith msg
+
+let load ~dir ~figure ~digest =
+  match shard_cells_files dir with
+  | exception Failure msg -> Error msg
+  | [] -> Error (Printf.sprintf "no shard-*.cells.json files in %s" dir)
+  | files -> (
+      let parsed =
+        List.map
+          (fun path ->
+            match Json.of_file path with
+            | Ok v -> Ok v
+            | Error e -> Error (Printf.sprintf "%s: %s" path e))
+          files
+      in
+      match
+        List.find_map (function Error e -> Some e | Ok _ -> None) parsed
+      with
+      | Some e -> Error e
+      | None ->
+          of_cells_json ~figure ~digest
+            (List.map (function Ok v -> v | Error _ -> assert false) parsed))
+
+let checkpoint ~dir ~figure ~digest s =
+  let cells_ok =
+    match Json.of_file (cells_path ~dir s) with
+    | Error _ -> None
+    | Ok v -> (
+        match parse_one ~figure ~digest v with
+        | spec, grids when spec = s ->
+            Some (List.fold_left (fun acc g -> acc + grid_cells g) 0 grids)
+        | _ -> None
+        | exception Bad _ -> None)
+  in
+  match cells_ok with
+  | None -> None
+  | Some cells -> (
+      (* The manifest is the checkpoint's seal: same schema discipline
+         as [lrd metrics diff] — wrong or missing tags invalidate it. *)
+      match Json.of_file (manifest_path ~dir s) with
+      | Error _ -> None
+      | Ok m -> (
+          match (Json.member "schema" m, Json.member "shard" m) with
+          | Some (Json.Str tag), Some sh
+            when tag = Lrd_obs.Manifest.shard_schema -> (
+              match
+                ( Json.member "params_digest" sh,
+                  Json.member "index" sh,
+                  Json.member "count" sh )
+              with
+              | Some (Json.Str d), Some (Json.Num i), Some (Json.Num n)
+                when d = digest
+                     && int_of_float i = s.index
+                     && int_of_float n = s.count ->
+                  Some cells
+              | _ -> None)
+          | _ -> None))
+
+(* ------------------------------------------------------------------ *)
+(* Merged metrics *)
+
+let write_merged_metrics ~dir per_shard =
+  try
+    let totals = Hashtbl.create 64 in
+    List.iter
+      (fun (s, _) ->
+        let path = metrics_path ~dir s in
+        match Json.of_file path with
+        | Error e -> bad "%s: %s" path e
+        | Ok v ->
+            let entries =
+              match Json.member "metrics" v with
+              | Some (Json.List l) -> l
+              | _ -> bad "%s: not a metrics snapshot" path
+            in
+            List.iter
+              (fun e ->
+                match (Json.member "name" e, Json.member "kind" e) with
+                | Some (Json.Str name), Some (Json.Str "counter") -> (
+                    match
+                      Option.bind (Json.member "total" e) Json.to_float_opt
+                    with
+                    | Some total ->
+                        let prev =
+                          Option.value ~default:0.0
+                            (Hashtbl.find_opt totals name)
+                        in
+                        Hashtbl.replace totals name (prev +. total)
+                    | None -> ())
+                | _ -> ())
+              entries)
+      per_shard;
+    let names =
+      List.sort String.compare
+        (Hashtbl.fold (fun name _ acc -> name :: acc) totals [])
+    in
+    let entries =
+      List.map
+        (fun name ->
+          Json.Obj
+            [
+              ("name", Json.Str name);
+              ("kind", Str "counter");
+              ("total", Num (Hashtbl.find totals name));
+            ])
+        names
+    in
+    Json.to_file ~pretty:true
+      (merged_metrics_path ~dir)
+      (Json.Obj [ ("metrics", Json.List entries) ]);
+    Ok ()
+  with Bad msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Driver *)
+
+let m_cells_total = Obs.Counter.make "shard/cells_total"
+let m_cells_run = Obs.Counter.make "shard/cells_run"
+let m_cells_skipped = Obs.Counter.make "shard/cells_skipped"
+let m_shards_spawned = Obs.Counter.make "shard/shards_spawned"
+let m_retries = Obs.Counter.make "shard/shard_retries"
+
+let record_counters ~per_shard ~skipped =
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 per_shard in
+  let skipped_cells =
+    List.fold_left
+      (fun acc (s, c) -> if List.mem s skipped then acc + c else acc)
+      0 per_shard
+  in
+  Obs.Counter.add m_cells_total total;
+  Obs.Counter.add m_cells_skipped skipped_cells;
+  Obs.Counter.add m_cells_run (total - skipped_cells)
+
+let rec ensure_dir dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let status_string = function
+  | Unix.WEXITED c -> Printf.sprintf "exited %d" c
+  | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
+
+let drive ~dir ~figure ~digest ~count ~resume ~retries ~worker_argv =
+  ensure_dir dir;
+  let skipped = ref [] and to_run = ref [] in
+  for index = count downto 1 do
+    let s = { index; count } in
+    if resume && checkpoint ~dir ~figure ~digest s <> None then
+      skipped := s :: !skipped
+    else to_run := s :: !to_run
+  done;
+  let spawn s =
+    let log =
+      Unix.openfile (log_path ~dir s)
+        [ Unix.O_WRONLY; O_CREAT; O_TRUNC ]
+        0o644
+    in
+    let argv = Array.of_list (Sys.executable_name :: worker_argv s) in
+    let pid = Unix.create_process Sys.executable_name argv Unix.stdin log log in
+    Unix.close log;
+    Obs.Counter.incr m_shards_spawned;
+    pid
+  in
+  let running = Hashtbl.create 8 in
+  let attempts = Array.make (count + 1) 0 in
+  let failures = ref [] in
+  List.iter (fun s -> Hashtbl.replace running (spawn s) s) !to_run;
+  while Hashtbl.length running > 0 do
+    match Unix.wait () with
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> Hashtbl.reset running
+    | pid, status -> (
+        match Hashtbl.find_opt running pid with
+        | None -> ()
+        | Some s -> (
+            Hashtbl.remove running pid;
+            match status with
+            | Unix.WEXITED 0 -> ()
+            | st ->
+                if attempts.(s.index) < retries then begin
+                  attempts.(s.index) <- attempts.(s.index) + 1;
+                  Obs.Counter.incr m_retries;
+                  Hashtbl.replace running (spawn s) s
+                end
+                else failures := (s, st) :: !failures))
+  done;
+  match !failures with
+  | [] -> Ok !skipped
+  | fs ->
+      Error
+        (String.concat "; "
+           (List.map
+              (fun (s, st) ->
+                Printf.sprintf "shard %s %s after %d attempt(s) (see %s)"
+                  (spec_string s) (status_string st)
+                  (attempts.(s.index) + 1)
+                  (log_path ~dir s))
+              (List.rev fs)))

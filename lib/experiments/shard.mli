@@ -1,0 +1,171 @@
+(** Process-level sharding of the scheduled figure sweeps.
+
+    A shard is a deterministic slice of a figure's cell grid: rows are
+    partitioned round-robin over [count] shards ([owns_row]), so every
+    warm-start chain — which runs left to right {e within} a row
+    ({!Sweep.scheduled_surface}) — lives entirely inside one shard and
+    each owned cell is bitwise identical to the same cell of the whole
+    run.  A worker process ([lrd experiment <fig> --shard k/n]) computes
+    its rows, records them through a [Compute]-mode handle, and
+    serializes them ([write_cells]) with every float as a ["%h"] hex
+    literal so the merge round-trips bits exactly.  Merging
+    ([of_cells_json] / {!load}) validates the shard set — one schema,
+    one figure, one parameter digest, indexes covering [1..n] exactly —
+    and yields a [Replay]-mode handle: re-running the figure against it
+    short-circuits every sweep to the stored results, so the merged
+    output is byte-identical to the unsharded run's.
+
+    Sharding requires the uniform gap policy: the contrast and budget
+    policies couple cells across the whole surface, which a partition
+    cannot reproduce ({!Sweep.scheduled_surface} enforces this). *)
+
+type spec = { index : int; count : int }
+(** Shard [index] of [count], 1-based: [1 <= index <= count]. *)
+
+val parse_spec : string -> (spec, string) result
+(** Parse a ["k/n"] argument. *)
+
+val spec_string : spec -> string
+(** The canonical ["k/n"] rendering. *)
+
+type t
+(** A sharding handle threaded through {!Data.t} into
+    {!Sweep.scheduled_surface}: either computing one shard's rows or
+    replaying a merged store. *)
+
+val compute : spec -> t
+(** A fresh [Compute]-mode handle: the sweep runs only the rows this
+    spec owns and records their results into the handle. *)
+
+val spec : t -> spec option
+(** The handle's spec in [Compute] mode, [None] in [Replay] mode. *)
+
+val is_replay : t -> bool
+
+(** {2 Sweep-facing hooks} *)
+
+val owns_row : t -> iy:int -> bool
+(** Row ownership: row [iy] belongs to shard [(iy mod count) + 1].
+    Always true in [Replay] mode. *)
+
+val absent_result : Lrd_core.Solver.result
+(** The placeholder for cells of unowned rows in a shard's partial
+    output: NaN bounds, zero counters, not converged.  {!Table} prints
+    it as [nan]. *)
+
+val record_grid :
+  t -> nx:int -> ny:int -> Lrd_core.Solver.result array array -> unit
+(** [Compute] mode: append a finished surface, keeping only the owned
+    rows.  No-op in [Replay] mode. *)
+
+val replay_grid : t -> nx:int -> ny:int -> Lrd_core.Solver.result array array
+(** [Replay] mode: pop the next stored surface, checking the shape.
+    @raise Failure on shape mismatch or when the store is exhausted
+    (only possible when the replayed figure diverges from the recorded
+    one — the merge validation rules out mismatched configurations). *)
+
+(** {2 Provenance digest} *)
+
+val digest : figure:string -> (string * Lrd_obs.Json.t) list -> string
+(** MD5 hex digest of the figure id plus the context's manifest
+    parameter fields ({!Data.manifest_fields}) {e minus} ["jobs"]:
+    parallelism never changes any figure value, so shards may run with
+    different job counts, while any seed / quick / policy / solver
+    change produces a different digest and the merge refuses to mix. *)
+
+(** {2 Worker output files} *)
+
+val cells_schema : string
+(** ["lrd-shard-cells/1"] — the partial-results payload written by a
+    worker. *)
+
+val cells_path : dir:string -> spec -> string
+val manifest_path : dir:string -> spec -> string
+val metrics_path : dir:string -> spec -> string
+val results_path : dir:string -> spec -> string
+val log_path : dir:string -> spec -> string
+(** The per-shard file layout inside the shard directory:
+    [shard-<k>-of-<n>.{cells.json,manifest.json,metrics.json,
+    results.txt,log}]. *)
+
+val merged_results_path : dir:string -> string
+val merged_metrics_path : dir:string -> string
+(** [merged.results.txt] / [merged.metrics.json] — what the merge step
+    writes and the equivalence gate compares against the whole run. *)
+
+val cell_count : t -> int
+(** Cells recorded so far ([Compute]) or held in the store ([Replay]). *)
+
+val cells_json : t -> figure:string -> digest:string -> Lrd_obs.Json.t
+(** The cells-file object for a [Compute] handle: schema tag, figure,
+    spec, digest and the recorded grids (floats as ["%h"] hex). *)
+
+val write_cells : t -> dir:string -> figure:string -> digest:string -> unit
+(** {!cells_json} pretty-printed to {!cells_path}. *)
+
+val shard_section :
+  t -> figure:string -> digest:string -> (string * Lrd_obs.Json.t) list
+(** The [("shard", ...)] extra pairs for a worker's provenance manifest
+    ({!Lrd_obs.Manifest.make} with [~schema:Manifest.shard_schema]):
+    figure, index, count, params digest, owned cell count and the grid
+    shapes. *)
+
+(** {2 Merge} *)
+
+val of_cells_json :
+  figure:string ->
+  digest:string ->
+  Lrd_obs.Json.t list ->
+  (t * (spec * int) list, string) result
+(** Merge parsed cells objects into a [Replay] handle plus the per-shard
+    owned-cell counts.  Rejects ([Error]): an unknown schema tag, a
+    figure or digest mismatch, inconsistent [count]s, duplicate or
+    missing indexes, grid shape disagreements, and malformed cells. *)
+
+val load : dir:string -> figure:string -> digest:string ->
+  (t * (spec * int) list, string) result
+(** Scan [dir] for [shard-*-of-*.cells.json] files and merge them via
+    {!of_cells_json}.  [Error] also covers an empty directory and
+    unreadable/unparseable files — the CLI maps it to exit 2, the same
+    contract as [lrd metrics diff] on malformed input. *)
+
+val checkpoint : dir:string -> figure:string -> digest:string -> spec ->
+  int option
+(** Resume check: [Some owned_cells] when the shard's cells file and
+    manifest both exist, parse, carry the right schema tags and match
+    the figure / digest / spec — i.e. the checkpoint is valid and the
+    worker need not be re-run.  [None] otherwise. *)
+
+val write_merged_metrics :
+  dir:string -> (spec * int) list -> (unit, string) result
+(** Sum the counter series across the shards' metrics snapshots and
+    write them (sorted by name) to {!merged_metrics_path}.  Only
+    counters merge — they sum exactly across a row partition (the
+    solver series are per-cell) — so the equivalence gate diffs the
+    result against the whole run with [--exact --filter solver/]. *)
+
+val ensure_dir : string -> unit
+(** [mkdir -p]: create the shard directory (and parents) if missing. *)
+
+(** {2 Driver} *)
+
+val drive :
+  dir:string ->
+  figure:string ->
+  digest:string ->
+  count:int ->
+  resume:bool ->
+  retries:int ->
+  worker_argv:(spec -> string list) ->
+  (spec list, string) result
+(** Self-exec [count] worker processes ([Sys.executable_name], argv from
+    [worker_argv], stdout+stderr to the shard's {!log_path}), wait for
+    all, and restart a failed worker up to [retries] times.  With
+    [resume], shards whose {!checkpoint} is valid are not spawned;
+    [Ok skipped] returns their specs.  [Error] when a shard still fails
+    after its retries — the CLI maps it to exit 1. *)
+
+val record_counters : per_shard:(spec * int) list -> skipped:spec list -> unit
+(** Post-merge accounting into the [shard/*] counters: [cells_total],
+    [cells_run], [cells_skipped], from the merged per-shard cell counts
+    and the set of checkpoint-skipped shards. *)

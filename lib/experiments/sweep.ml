@@ -110,14 +110,42 @@ let m_rounds = Lrd_obs.Obs.Counter.make "sweep/schedule_rounds"
 let m_sched_gap = Lrd_obs.Obs.Trajectory.make ~capacity:256 "sweep/gap_rel"
 
 let scheduled_surface (type a b) ?pool ?(policy = uniform_policy)
-    ?(slice = 512) ?(warm_start = true) ~(xs : a array) ~(ys : b array)
-    ~(state : a -> b -> Lrd_core.Solver.State.t) () =
+    ?(slice = 512) ?(warm_start = true) ?shard ~(xs : a array)
+    ~(ys : b array) ~(state : a -> b -> Lrd_core.Solver.State.t) () =
   let module State = Lrd_core.Solver.State in
   let module Obs = Lrd_obs.Obs in
   if slice <= 0 then
     invalid_arg "Sweep.scheduled_surface: slice must be positive";
   let nx = Array.length xs and ny = Array.length ys in
-  Obs.Counter.add m_cells (nx * ny);
+  match shard with
+  | Some sh when Shard.is_replay sh ->
+      (* Merge replay: every cell is served from the merged store, the
+         [state] callback is never invoked and no solver work runs — the
+         figure's printing path sees bitwise the whole run's results. *)
+      Shard.replay_grid sh ~nx ~ny
+  | _ ->
+  (* Row ownership: a compute-mode shard runs only its rows.  Rows are
+     the unit of determinism — warm-start chains run left to right
+     within a row — but the contrast/budget policies couple cells
+     across the whole surface, so sharding requires the uniform
+     policy. *)
+  let owned =
+    match shard with
+    | None -> fun _ -> true
+    | Some sh ->
+        if policy <> uniform_policy then
+          invalid_arg
+            "Sweep.scheduled_surface: sharding requires the uniform gap \
+             policy (contrast/budget couple cells across shards)";
+        fun iy -> Shard.owns_row sh ~iy
+  in
+  let owned_rows = ref 0 in
+  for iy = 0 to ny - 1 do
+    if owned iy then incr owned_rows
+  done;
+  (* Owned cells only: summing [sweep/cells] across a shard set then
+     reproduces the whole run's count exactly. *)
+  Obs.Counter.add m_cells (!owned_rows * nx);
   if nx = 0 then Array.map (fun _ -> [||]) ys
   else begin
     let n = nx * ny in
@@ -272,7 +300,7 @@ let scheduled_surface (type a b) ?pool ?(policy = uniform_policy)
       | None -> ()
     in
     for iy = 0 to ny - 1 do
-      create_cell iy 0
+      if owned iy then create_cell iy 0
     done;
     apply_budget ();
     let rec rounds () =
@@ -317,11 +345,21 @@ let scheduled_surface (type a b) ?pool ?(policy = uniform_policy)
     if Obs.Trace.enabled () then
       Obs.Trace.with_span "sweep/scheduled" rounds
     else rounds ();
-    Array.init ny (fun iy ->
-        Array.init nx (fun ix ->
-            match states.((iy * nx) + ix) with
-            | Some st -> State.result st
-            | None -> assert false))
+    let results =
+      Array.init ny (fun iy ->
+          Array.init nx (fun ix ->
+              match states.((iy * nx) + ix) with
+              | Some st -> State.result st
+              | None ->
+                  (* Unowned rows report a NaN placeholder in this
+                     shard's partial output; the merge replaces them
+                     with the owning shard's cells. *)
+                  if owned iy then assert false else Shard.absent_result))
+    in
+    (match shard with
+    | Some sh -> Shard.record_grid sh ~nx ~ny results
+    | None -> ());
+    results
   end
 
 (* The shared parameter grids, as manifest JSON.  Infinite cutoffs are

@@ -101,6 +101,7 @@ val scheduled_surface :
   ?policy:gap_policy ->
   ?slice:int ->
   ?warm_start:bool ->
+  ?shard:Shard.t ->
   xs:'a array ->
   ys:'b array ->
   state:('a -> 'b -> Lrd_core.Solver.State.t) ->
@@ -132,7 +133,18 @@ val scheduled_surface :
     [sweep/slice] / [sweep/warm_start] / [sweep/early_stop] trace
     events show the budget flowing to hard cells on a Perfetto
     timeline.
-    @raise Invalid_argument when [slice <= 0]. *)
+
+    [shard] slices or replays the grid ({!Shard}): a compute-mode
+    handle runs only the rows its spec owns (unowned cells report
+    {!Shard.absent_result}) and records the owned rows into the handle;
+    a replay-mode handle short-circuits the whole evaluation to the
+    merged store, never invoking [state].  Because warm-start chains
+    never cross rows, each owned cell is bitwise identical to the same
+    cell of the unsharded run, and [sweep/cells] counts owned cells
+    only so the counter sums exactly across a shard set.
+    @raise Invalid_argument when [slice <= 0], or when [shard] is
+    combined with a non-uniform [policy] (contrast/budget couple cells
+    across the whole surface, which a partition cannot reproduce). *)
 
 val manifest_fields : quick:bool -> unit -> (string * Lrd_obs.Json.t) list
 (** The shared parameter grids above, for a run's provenance manifest:

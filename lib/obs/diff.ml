@@ -61,7 +61,7 @@ let rec scalars (v : Json.t) =
     -> (
       (* A manifest: check the tag, then diff the embedded snapshot. *)
       match Json.member "schema" v with
-      | Some (Str s) when s = Manifest.schema -> (
+      | Some (Str s) when s = Manifest.schema || s = Manifest.shard_schema -> (
           match Json.member "metrics" v with
           | Some Null | None -> Ok []
           | Some m -> scalars m)
@@ -76,13 +76,18 @@ let rec scalars (v : Json.t) =
 
 (* ------------------------------------------------------------------ *)
 
-let classify ~threshold ~min_abs base current =
+let classify ~exact ~threshold ~min_abs base current =
   match (base, current) with
   | None, Some _ -> Missing_base
   | Some _, None -> Missing_current
   | None, None -> Unchanged
   | Some b, Some c ->
       if c = b then Unchanged
+      else if exact then
+        (* Equivalence gating (e.g. a merged sharded run against the
+           whole run): any numeric difference in either direction is a
+           failure; one-sided names keep their warning semantics. *)
+        Regressed
       else if c > b then
         if b > 0.0 && c > threshold *. b && c -. b >= min_abs then Regressed
         else Changed
@@ -94,7 +99,8 @@ let contains ~sub s =
   let rec go i = i + lsub <= ls && (String.sub s i lsub = sub || go (i + 1)) in
   lsub = 0 || go 0
 
-let compare_values ?(threshold = 2.0) ?(min_abs = 0.0) ?filter base current =
+let compare_values ?(threshold = 2.0) ?(min_abs = 0.0) ?filter
+    ?(exact = false) base current =
   match (scalars base, scalars current) with
   | Error e, _ -> Error ("base: " ^ e)
   | _, Error e -> Error ("current: " ^ e)
@@ -111,7 +117,12 @@ let compare_values ?(threshold = 2.0) ?(min_abs = 0.0) ?filter base current =
           (fun name ->
             let base = List.assoc_opt name bs
             and current = List.assoc_opt name cs in
-            { name; base; current; status = classify ~threshold ~min_abs base current })
+            {
+              name;
+              base;
+              current;
+              status = classify ~exact ~threshold ~min_abs base current;
+            })
           names
       in
       let count st = List.length (List.filter (fun r -> r.status = st) rows) in
@@ -175,7 +186,7 @@ let render report =
        report.regressions report.additions report.missing);
   Buffer.contents b
 
-let run ?threshold ?min_abs ?filter ~base ~current () =
+let run ?threshold ?min_abs ?filter ?exact ~base ~current () =
   let load label path =
     match Json.of_file path with
     | Ok v -> Ok v
@@ -186,7 +197,7 @@ let run ?threshold ?min_abs ?filter ~base ~current () =
       prerr_endline ("lrd metrics diff: " ^ e);
       2
   | Ok b, Ok c -> (
-      match compare_values ?threshold ?min_abs ?filter b c with
+      match compare_values ?threshold ?min_abs ?filter ?exact b c with
       | Error e ->
           prerr_endline ("lrd metrics diff: " ^ e);
           2

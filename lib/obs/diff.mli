@@ -55,6 +55,7 @@ val compare_values :
   ?threshold:float ->
   ?min_abs:float ->
   ?filter:string ->
+  ?exact:bool ->
   Json.t ->
   Json.t ->
   (report, string) result
@@ -63,7 +64,12 @@ val compare_values :
     the ratio counts).  [filter] keeps only series whose name contains
     the given substring — e.g. ["kernel/"] gates just the CPU
     micro-kernels, which are stable enough for a hard CI check while
-    the solver cells stay warn-only. *)
+    the solver cells stay warn-only.  [exact] (default [false]) switches
+    to equivalence gating: any numeric difference on a series present in
+    both snapshots — in either direction, of any size — is a regression.
+    Used to assert that a merged sharded run reproduced the whole run's
+    deterministic counters; one-sided names keep their warning
+    semantics. *)
 
 val render : report -> string
 (** A fixed-width text table (one row per changed/missing name, plus a
@@ -73,11 +79,12 @@ val run :
   ?threshold:float ->
   ?min_abs:float ->
   ?filter:string ->
+  ?exact:bool ->
   base:string ->
   current:string ->
   unit ->
   int
 (** Read the two files, print {!render} to stdout (or the error to
     stderr) and return the process exit code: [0] clean, [3] at least
-    one regression, [2] unreadable/unrecognized input.  [filter] as in
-    {!compare_values}. *)
+    one regression, [2] unreadable/unrecognized input.  [filter] and
+    [exact] as in {!compare_values}. *)

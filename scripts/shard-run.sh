@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Shard-equivalence gate: launch n local shard workers for one figure
+# (quick grids), wait for them, merge the shard set, and diff the merged
+# output against a whole (unsharded) run of the same figure.  CI runs
+# this script, so the local and CI paths are identical.
+#
+#   usage: shard-run.sh [figure] [count] [outdir]
+#          (defaults: fig4 2 lrd-shards-<figure>)
+#
+# Exit codes:
+#   0  merged results and solver counters byte-identical to the whole run
+#   1  a shard worker failed (its stderr is replayed)
+#   2  the merge refused the shard set (malformed/mismatched files), or
+#      the metrics diff found a non-identical solver counter
+#   *  cmp's own exit code on a results byte difference
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+figure="${1:-fig4}"
+count="${2:-2}"
+outdir="${3:-lrd-shards-$figure}"
+
+dune build bin/lrd_cli.exe
+lrd=_build/default/bin/lrd_cli.exe
+
+rm -rf "$outdir"
+mkdir -p "$outdir"
+
+echo "shard-run: whole $figure run (baseline)" >&2
+"$lrd" experiment "$figure" --quick \
+  --results-out "$outdir/whole.results.txt" \
+  --metrics json --metrics-out "$outdir/whole.metrics.json" > /dev/null
+
+echo "shard-run: launching $count workers" >&2
+pids=()
+for k in $(seq 1 "$count"); do
+  "$lrd" experiment "$figure" --quick --shard "$k/$count" --out "$outdir" \
+    > /dev/null 2> "$outdir/worker-$k.stderr" &
+  pids+=("$!")
+done
+fail=0
+for i in "${!pids[@]}"; do
+  if ! wait "${pids[$i]}"; then
+    echo "shard-run: worker $((i + 1))/$count failed:" >&2
+    cat "$outdir/worker-$((i + 1)).stderr" >&2
+    fail=1
+  fi
+done
+[ "$fail" -eq 0 ] || exit 1
+
+echo "shard-run: merging $count shards" >&2
+"$lrd" experiment "$figure" --quick --merge "$outdir" > /dev/null
+
+# The gate proper: merged results must be byte-identical to the whole
+# run, and every solver counter must match exactly.  On a mismatch the
+# diff report lands on stdout before the nonzero exit.
+if ! cmp "$outdir/whole.results.txt" "$outdir/merged.results.txt"; then
+  diff "$outdir/whole.results.txt" "$outdir/merged.results.txt" || true
+  exit 1
+fi
+"$lrd" metrics diff --exact --filter solver/ \
+  "$outdir/whole.metrics.json" "$outdir/merged.metrics.json"
+echo "shard-run: $figure merged output byte-identical across $count shards"
