@@ -41,6 +41,7 @@ let scaling = ref false
 let json_file = ref ""
 let check_file = ref ""
 let metrics_file = ref ""
+let metrics_interval = ref 0.0
 let trace_file = ref ""
 let manifest_file = ref ""
 
@@ -86,6 +87,12 @@ let spec =
       "FILE enable the Obs telemetry layer for the whole run and write \
        its JSON snapshot (solver iteration counts, pool scheduling, \
        cache traffic) to FILE at exit" );
+    ( "--metrics-interval",
+      Arg.Set_float metrics_interval,
+      "SECS enable telemetry and stream a timestamped snapshot line \
+       (JSONL) every SECS seconds to a ticker file (--metrics FILE minus \
+       extension + .ticker.jsonl, else bench-metrics.ticker.jsonl); one \
+       line is also written at start and at exit" );
     ( "--trace",
       Arg.Set_string trace_file,
       "FILE enable timeline tracing and write the merged event journal \
@@ -495,16 +502,39 @@ let check_against_baseline ~file rows =
    (substring match, so "--only kernel/whittle" selects the
    planned/one-shot pair and "--only fig13" picks the Bellcore
    surface). *)
-let selected name =
-  !only = []
-  || List.exists
-       (fun id ->
-         let idl = String.length id and nl = String.length name in
-         let rec at i =
-           i + idl <= nl && (String.sub name i idl = id || at (i + 1))
-         in
-         at 0)
-       !only
+let matches_token name id =
+  let idl = String.length id and nl = String.length name in
+  let rec at i = i + idl <= nl && (String.sub name i idl = id || at (i + 1)) in
+  at 0
+
+let selected name = !only = [] || List.exists (matches_token name) !only
+
+(* --only tokens that match nothing are reported instead of silently
+   dropped: a typo'd kernel name that empties the whole suite is a hard
+   error (exit 2, listing what exists), a token that merely adds nothing
+   while others still match is a stderr warning. *)
+let check_only_coverage ~mode ~names ~selected_any =
+  if !only <> [] then begin
+    let unmatched =
+      List.filter
+        (fun id -> not (List.exists (fun n -> matches_token n id) names))
+        !only
+    in
+    if not selected_any then begin
+      Printf.eprintf
+        "%s: ERROR --only %s matched no benchmark; available names:\n" mode
+        (String.concat "," !only);
+      List.iter (Printf.eprintf "  %s\n") names;
+      Printf.eprintf "%!";
+      exit 2
+    end
+    else
+      List.iter
+        (fun id ->
+          Printf.eprintf "%s: warning --only token %S matched nothing\n%!"
+            mode id)
+        unmatched
+  end
 
 let run_micro ~json ctx =
   let open Bechamel in
@@ -524,9 +554,10 @@ let run_micro ~json ctx =
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  let tests =
-    List.filter (fun (name, _) -> selected name) (micro_tests ctx)
-  in
+  let all_tests = micro_tests ctx in
+  let tests = List.filter (fun (name, _) -> selected name) all_tests in
+  check_only_coverage ~mode:"micro" ~names:(List.map fst all_tests)
+    ~selected_any:(tests <> []);
   (* Open the JSON sink up front so a bad path fails before the suite
      runs, not after minutes of benchmarking. *)
   let json_oc = if json = "" then None else Some (open_out json) in
@@ -685,6 +716,14 @@ let run_scaling ~json () =
       List.filter (fun (name, _) -> name = "fig12") scaling_figures
     else List.filter (fun (name, _) -> selected name) scaling_figures
   in
+  (* A warning, not the micro suite's hard error: --only applies to
+     every selected mode at once, so a kernel-only filter legitimately
+     empties the scaling list in a combined --scaling --micro run. *)
+  if figures = [] && !only <> [] then
+    Printf.eprintf
+      "scaling: warning --only %s matched no scaling figure (available: %s)\n%!"
+      (String.concat "," !only)
+      (String.concat ", " (List.map fst scaling_figures));
   let rows =
     List.concat_map
       (fun (figure, run) ->
@@ -810,8 +849,22 @@ let write_bench_manifest ~tool file =
 
 let () =
   Arg.parse (Arg.align spec) (fun s -> raise (Arg.Bad ("unexpected " ^ s))) usage;
-  if !metrics_file <> "" then Lrd_obs.Obs.set_enabled true;
+  if !metrics_file <> "" || !metrics_interval > 0.0 then
+    Lrd_obs.Obs.set_enabled true;
   if !trace_file <> "" then Lrd_obs.Obs.Trace.set_enabled true;
+  if !metrics_interval > 0.0 then begin
+    let path =
+      if !metrics_file <> "" then
+        Filename.remove_extension !metrics_file ^ ".ticker.jsonl"
+      else "bench-metrics.ticker.jsonl"
+    in
+    match Lrd_obs.Export.start_ticker ~interval:!metrics_interval ~path with
+    | Ok () -> ()
+    | Error e ->
+        Printf.eprintf "bench: --metrics-interval: %s\n%!" e;
+        exit 2
+  end;
+  at_exit Lrd_obs.Export.stop_ticker;
   (* Modes compose: --scaling and --micro can run in one invocation (in
      that order); the figure regeneration runs when neither is given. *)
   let modes =

@@ -94,11 +94,51 @@ let trace_out_arg =
     & opt (some string) None
     & info [ "trace"; "trace-out" ] ~docv:"FILE" ~doc)
 
-let with_telemetry ?trace_out format out f =
+(* [--metrics-interval SECS] — stream timestamped snapshot lines to a
+   JSONL file while the run is in flight (one line per tick, plus one
+   at start and one at exit), so long runs produce a time series
+   instead of a single exit snapshot.  The ticker file sits next to
+   [--metrics-out FILE] as FILE minus extension + ".ticker.jsonl", or
+   defaults to lrd-metrics.ticker.jsonl. *)
+let metrics_interval_arg =
+  let doc =
+    "Enable telemetry and append a timestamped metrics snapshot line \
+     (JSONL) every $(docv) seconds to a ticker file (next to \
+     $(b,--metrics-out), else $(b,lrd-metrics.ticker.jsonl)).  With \
+     $(b,--shards) the driver also prints per-shard heartbeat lines at \
+     the same period."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "metrics-interval" ] ~docv:"SECS" ~doc)
+
+let ticker_path ~metrics_out =
+  match metrics_out with
+  | Some f -> Filename.remove_extension f ^ ".ticker.jsonl"
+  | None -> "lrd-metrics.ticker.jsonl"
+
+let with_telemetry ?metrics_interval ?trace_out format out f =
   let wanted = format <> None || out <> None in
-  if wanted then Lrd_obs.Obs.set_enabled true;
+  if wanted || metrics_interval <> None then Lrd_obs.Obs.set_enabled true;
   if trace_out <> None then Lrd_obs.Obs.Trace.set_enabled true;
-  let result = f () in
+  (match metrics_interval with
+  | None -> ()
+  | Some interval -> (
+      match
+        Lrd_obs.Export.start_ticker ~interval
+          ~path:(ticker_path ~metrics_out:out)
+      with
+      | Ok () -> ()
+      | Error e ->
+          prerr_endline ("lrd: --metrics-interval: " ^ e);
+          exit 2));
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        if metrics_interval <> None then Lrd_obs.Export.stop_ticker ())
+      f
+  in
   if wanted then begin
     let snap = Lrd_obs.Obs.snapshot () in
     let rendered =
@@ -279,9 +319,80 @@ let trace_cmd =
       (Lrd_trace.Trace.peak trace)
       out
   in
-  let doc = "generate a synthetic traffic trace" in
-  Cmd.v (Cmd.info "trace" ~doc)
+  (* `lrd trace` is a group whose default term is the generator, so the
+     historical flat spelling (lrd trace --kind video -o FILE) keeps
+     working next to the analysis subcommands. *)
+  let generate_term =
     Term.(const run $ seed_arg $ kind_arg $ slots_arg $ out_arg)
+  in
+  let report_cmd =
+    let file_arg =
+      let doc = "Chrome trace-event journal to analyze (a --trace output)." in
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+    in
+    let json_arg =
+      let doc =
+        "Print the full report as deterministic JSON (schema \
+         $(b,lrd-trace-report/1)) instead of the text summary — \
+         byte-identical across reruns of the same journal."
+      in
+      Arg.(value & flag & info [ "json" ] ~doc)
+    in
+    let top_arg =
+      let doc = "Number of slowest cells to list." in
+      Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+    in
+    let compare_arg =
+      let doc =
+        "A/B mode: also load the baseline journal $(docv) and print \
+         per-phase totals side by side with ratios."
+      in
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "compare" ] ~docv:"BASELINE" ~doc)
+    in
+    let run file json top compare =
+      match Lrd_obs.Report.of_file file with
+      | Error e -> `Error (false, e)
+      | Ok current -> (
+          match compare with
+          | Some base_file -> (
+              match Lrd_obs.Report.of_file base_file with
+              | Error e -> `Error (false, e)
+              | Ok base ->
+                  if json then
+                    print_endline
+                      (Lrd_obs.Json.to_string ~pretty:true
+                         (Lrd_obs.Json.Obj
+                            [
+                              ("schema", Lrd_obs.Json.Str Lrd_obs.Report.schema);
+                              ("base", Lrd_obs.Report.to_json ~top base);
+                              ( "current",
+                                Lrd_obs.Report.to_json ~top current );
+                            ]))
+                  else
+                    print_string
+                      (Lrd_obs.Report.render_compare ~base ~current);
+                  `Ok ())
+          | None ->
+              if json then
+                print_endline
+                  (Lrd_obs.Json.to_string ~pretty:true
+                     (Lrd_obs.Report.to_json ~top current))
+              else print_string (Lrd_obs.Report.render ~top current);
+              `Ok ())
+    in
+    let doc =
+      "analyze a timeline trace: per-phase aggregates, per-domain \
+       utilization, steal ratios, slowest cells and the sweep critical \
+       path"
+    in
+    Cmd.v (Cmd.info "report" ~doc)
+      Term.(ret (const run $ file_arg $ json_arg $ top_arg $ compare_arg))
+  in
+  let doc = "generate synthetic traffic traces and analyze run timelines" in
+  Cmd.group ~default:generate_term (Cmd.info "trace" ~doc) [ report_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* hurst *)
@@ -718,8 +829,8 @@ let run_shard_merge ~quick ~seed ~jobs ~superpose ~manifest ~digest ~dir id =
    restart-on-failure), then merge.  --resume skips shards whose
    checkpoint manifest still matches.  Exit 1 when a shard fails for
    good. *)
-let run_shard_driver ~quick ~seed ~jobs ~superpose ~manifest ~dir ~count
-    ~resume ~retries id =
+let run_shard_driver ?heartbeat ~quick ~seed ~jobs ~superpose ~manifest ~dir
+    ~count ~resume ~retries id =
   let module E = Lrd_experiments in
   let digest = shard_digest ~quick ~seed ~superpose id in
   let worker_argv spec =
@@ -740,7 +851,8 @@ let run_shard_driver ~quick ~seed ~jobs ~superpose ~manifest ~dir ~count
     @ (if quick then [ "--quick" ] else [])
   in
   match
-    E.Shard.drive ~dir ~figure:id ~digest ~count ~resume ~retries ~worker_argv
+    E.Shard.drive ?heartbeat ~dir ~figure:id ~digest ~count ~resume ~retries
+      ~worker_argv ()
   with
   | Error msg ->
       prerr_endline ("lrd experiment --shards: " ^ msg);
@@ -917,9 +1029,10 @@ let experiment_cmd =
       & info [ "superpose" ] ~docv:"METHOD" ~doc)
   in
   let run quick seed jobs gap_policy iteration_budget superpose metrics
-      metrics_out trace_out manifest shard shards merge out resume retries
-      results_out ids =
-    with_telemetry ?trace_out metrics metrics_out @@ fun () ->
+      metrics_out metrics_interval trace_out manifest shard shards merge out
+      resume retries results_out ids =
+    with_telemetry ?metrics_interval ?trace_out metrics metrics_out
+    @@ fun () ->
     match parse_gap_policy gap_policy iteration_budget with
     | Error msg -> `Error (false, msg)
     | Ok policy -> (
@@ -966,8 +1079,9 @@ let experiment_cmd =
                       if count < 1 then
                         `Error (false, "--shards needs a positive count")
                       else begin
-                        run_shard_driver ~quick ~seed ~jobs ~superpose
-                          ~manifest ~dir:out ~count ~resume ~retries id;
+                        run_shard_driver ?heartbeat:metrics_interval ~quick
+                          ~seed ~jobs ~superpose ~manifest ~dir:out ~count
+                          ~resume ~retries id;
                         `Ok ()
                       end
                   | None, None, Some dir ->
@@ -1022,9 +1136,9 @@ let experiment_cmd =
       ret
         (const run $ quick_arg $ seed_arg $ jobs_arg $ gap_policy_arg
        $ iteration_budget_arg $ superpose_arg $ metrics_format_arg
-       $ metrics_out_arg $ trace_out_arg $ manifest_arg $ shard_arg
-       $ shards_arg $ merge_arg $ out_arg $ resume_arg $ retries_arg
-       $ results_out_arg $ ids_arg))
+       $ metrics_out_arg $ metrics_interval_arg $ trace_out_arg $ manifest_arg
+       $ shard_arg $ shards_arg $ merge_arg $ out_arg $ resume_arg
+       $ retries_arg $ results_out_arg $ ids_arg))
 
 (* ------------------------------------------------------------------ *)
 (* metrics diff *)

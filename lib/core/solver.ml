@@ -46,6 +46,7 @@ let log_src = Logs.Src.create "lrd.solver" ~doc:"fluid queue loss solver"
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
 module Obs = Lrd_obs.Obs
+module Resource = Lrd_obs.Resource
 
 (* Solver telemetry.  Everything is recorded at check-period or
    per-solve granularity — never inside [Workspace.step] — so the
@@ -64,6 +65,7 @@ let m_workspaces_direct = Obs.Counter.make "solver/workspaces_direct"
 let m_gap_trajectory = Obs.Trajectory.make "solver/bound_gap_rel"
 let m_last_gap = Obs.Gauge.make "solver/last_bound_gap_rel"
 let m_solve_span = Obs.Span.make "solver/solve_seconds"
+let m_solve_alloc = Resource.Alloc.make "solver/solve_minor_words"
 
 (* ------------------------------------------------------------------ *)
 (* Per-level workspace.
@@ -848,9 +850,17 @@ let solve_detailed_impl ?params ?cache model ~service_rate ~buffer =
   State.detailed st
 
 let solve_detailed ?params ?cache model ~service_rate ~buffer =
-  Obs.Span.time m_solve_span (fun () ->
-      Obs.Trace.with_span "solver/solve" (fun () ->
-          solve_detailed_impl ?params ?cache model ~service_rate ~buffer))
+  (* Minor-word attribution brackets the whole solve (plan building,
+     state setup, refinement) — the per-step path itself stays
+     allocation-free, so this counter is dominated by setup and is the
+     number `lrd serve` will watch per request. *)
+  let w0 = Resource.Alloc.start () in
+  Fun.protect
+    ~finally:(fun () -> Resource.Alloc.stop m_solve_alloc w0)
+    (fun () ->
+      Obs.Span.time m_solve_span (fun () ->
+          Obs.Trace.with_span "solver/solve" (fun () ->
+              solve_detailed_impl ?params ?cache model ~service_rate ~buffer)))
 
 let solve ?params ?cache model ~service_rate ~buffer =
   fst (solve_detailed ?params ?cache model ~service_rate ~buffer)

@@ -512,8 +512,26 @@ let status_string = function
   | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
   | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
 
-let drive ~dir ~figure ~digest ~count ~resume ~retries ~worker_argv =
+let drive ?heartbeat ~dir ~figure ~digest ~count ~resume ~retries ~worker_argv
+    () =
   ensure_dir dir;
+  let t_start = Unix.gettimeofday () in
+  (* Every driver line carries elapsed seconds (monotonic within the
+     run) and the shard it concerns, so interleaved worker logs stay
+     attributable when several shards fail or retry at once. *)
+  let logf shard fmt =
+    Printf.ksprintf
+      (fun msg ->
+        let who =
+          match shard with
+          | Some s -> Printf.sprintf "shard %d/%d" s.index s.count
+          | None -> "driver"
+        in
+        Printf.eprintf "[+%.3fs %s] %s\n%!"
+          (Unix.gettimeofday () -. t_start)
+          who msg)
+      fmt
+  in
   let skipped = ref [] and to_run = ref [] in
   for index = count downto 1 do
     let s = { index; count } in
@@ -521,6 +539,10 @@ let drive ~dir ~figure ~digest ~count ~resume ~retries ~worker_argv =
       skipped := s :: !skipped
     else to_run := s :: !to_run
   done;
+  List.iter
+    (fun s -> logf (Some s) "resume: checkpoint matches, not spawning")
+    !skipped;
+  let attempts = Array.make (count + 1) 0 in
   let spawn s =
     let log =
       Unix.openfile (log_path ~dir s)
@@ -531,29 +553,69 @@ let drive ~dir ~figure ~digest ~count ~resume ~retries ~worker_argv =
     let pid = Unix.create_process Sys.executable_name argv Unix.stdin log log in
     Unix.close log;
     Obs.Counter.incr m_shards_spawned;
+    logf (Some s) "spawned pid %d (attempt %d, log %s)" pid
+      (attempts.(s.index) + 1)
+      (log_path ~dir s);
     pid
   in
   let running = Hashtbl.create 8 in
-  let attempts = Array.make (count + 1) 0 in
   let failures = ref [] in
   List.iter (fun s -> Hashtbl.replace running (spawn s) s) !to_run;
+  let next_beat =
+    ref (match heartbeat with Some h -> t_start +. h | None -> infinity)
+  in
+  (* Non-blocking reap loop: WNOHANG polling (50 ms) instead of a
+     blocking wait, so the driver can emit per-shard heartbeat lines on
+     the side while workers run. *)
   while Hashtbl.length running > 0 do
-    match Unix.wait () with
-    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> Hashtbl.reset running
-    | pid, status -> (
-        match Hashtbl.find_opt running pid with
-        | None -> ()
-        | Some s -> (
+    let reaped = ref false in
+    let handle pid status s =
+      Hashtbl.remove running pid;
+      reaped := true;
+      match status with
+      | Unix.WEXITED 0 -> logf (Some s) "completed (pid %d)" pid
+      | st ->
+          if attempts.(s.index) < retries then begin
+            attempts.(s.index) <- attempts.(s.index) + 1;
+            Obs.Counter.incr m_retries;
+            logf (Some s) "pid %d %s, retrying (attempt %d of %d)" pid
+              (status_string st)
+              (attempts.(s.index) + 1)
+              (retries + 1);
+            Hashtbl.replace running (spawn s) s
+          end
+          else begin
+            logf (Some s) "pid %d %s, giving up after %d attempt(s)" pid
+              (status_string st)
+              (attempts.(s.index) + 1);
+            failures := (s, st) :: !failures
+          end
+    in
+    let pids = Hashtbl.fold (fun pid s acc -> (pid, s) :: acc) running [] in
+    List.iter
+      (fun (pid, s) ->
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ -> ()
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+            (* Reaped elsewhere (should not happen): treat as success so
+               the checkpoint validation in the merge decides. *)
             Hashtbl.remove running pid;
-            match status with
-            | Unix.WEXITED 0 -> ()
-            | st ->
-                if attempts.(s.index) < retries then begin
-                  attempts.(s.index) <- attempts.(s.index) + 1;
-                  Obs.Counter.incr m_retries;
-                  Hashtbl.replace running (spawn s) s
-                end
-                else failures := (s, st) :: !failures))
+            reaped := true
+        | _, status -> handle pid status s)
+      pids;
+    if Hashtbl.length running > 0 then begin
+      if not !reaped then Unix.sleepf 0.05;
+      if Unix.gettimeofday () >= !next_beat then begin
+        Hashtbl.fold (fun pid s acc -> (pid, s) :: acc) running []
+        |> List.sort (fun (_, a) (_, b) -> compare a.index b.index)
+        |> List.iter (fun (pid, s) ->
+               logf (Some s) "heartbeat: running (pid %d, attempt %d)" pid
+                 (attempts.(s.index) + 1));
+        match heartbeat with
+        | Some h -> next_beat := !next_beat +. h
+        | None -> ()
+      end
+    end
   done;
   match !failures with
   | [] -> Ok !skipped

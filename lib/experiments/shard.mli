@@ -150,6 +150,7 @@ val ensure_dir : string -> unit
 (** {2 Driver} *)
 
 val drive :
+  ?heartbeat:float ->
   dir:string ->
   figure:string ->
   digest:string ->
@@ -157,13 +158,18 @@ val drive :
   resume:bool ->
   retries:int ->
   worker_argv:(spec -> string list) ->
+  unit ->
   (spec list, string) result
 (** Self-exec [count] worker processes ([Sys.executable_name], argv from
-    [worker_argv], stdout+stderr to the shard's {!log_path}), wait for
-    all, and restart a failed worker up to [retries] times.  With
-    [resume], shards whose {!checkpoint} is valid are not spawned;
-    [Ok skipped] returns their specs.  [Error] when a shard still fails
-    after its retries — the CLI maps it to exit 1. *)
+    [worker_argv], stdout+stderr to the shard's {!log_path}), poll for
+    all (non-blocking 50 ms reap loop), and restart a failed worker up
+    to [retries] times.  Progress lines on stderr are prefixed
+    [[+<elapsed>s shard <k>/<n>]] (spawn, completion, retry, give-up);
+    [?heartbeat] additionally emits one such line per running shard
+    every that many seconds.  With [resume], shards whose {!checkpoint}
+    is valid are not spawned; [Ok skipped] returns their specs.
+    [Error] when a shard still fails after its retries — the CLI maps
+    it to exit 1. *)
 
 val record_counters : per_shard:(spec * int) list -> skipped:spec list -> unit
 (** Post-merge accounting into the [shard/*] counters: [cells_total],

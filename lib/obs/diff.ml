@@ -186,11 +186,36 @@ let render report =
        report.regressions report.additions report.missing);
   Buffer.contents b
 
+(* What a value looks like, for exit-2 diagnostics: names the shape we
+   detected so "base: malformed" becomes actionable. *)
+let describe (v : Json.t) =
+  match v with
+  | Obj _ when Json.member "schema" v <> None -> (
+      match Json.member "schema" v with
+      | Some (Str s) -> Printf.sprintf "manifest with schema %S" s
+      | _ -> "manifest-like object with a non-string schema tag")
+  | Obj _ when Json.member "metrics" v <> None ->
+      "object with a non-array \"metrics\" key"
+  | Obj _ -> "JSON object (not a metrics snapshot or manifest)"
+  | List _ -> "JSON array (not a bench result array)"
+  | Null -> "JSON null"
+  | Bool _ -> "JSON boolean"
+  | Num _ -> "JSON number"
+  | Str _ -> "JSON string"
+
 let run ?threshold ?min_abs ?filter ?exact ~base ~current () =
   let load label path =
     match Json.of_file path with
-    | Ok v -> Ok v
     | Error e -> Error (Printf.sprintf "%s (%s): %s" label path e)
+    | Ok v -> (
+        (* Pre-validate each side so a format error names the offending
+           file and the shape we saw, not just "base: malformed". *)
+        match scalars v with
+        | Ok _ -> Ok v
+        | Error e ->
+            Error
+              (Printf.sprintf "%s (%s): %s — input is %s" label path e
+                 (describe v)))
   in
   match (load "base" base, load "current" current) with
   | Error e, _ | _, Error e ->

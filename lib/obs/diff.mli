@@ -86,5 +86,7 @@ val run :
   int
 (** Read the two files, print {!render} to stdout (or the error to
     stderr) and return the process exit code: [0] clean, [3] at least
-    one regression, [2] unreadable/unrecognized input.  [filter] and
-    [exact] as in {!compare_values}. *)
+    one regression, [2] unreadable/unrecognized input.  Exit-2 messages
+    name the offending file and the shape that was detected (manifest
+    schema, bare object, array...).  [filter] and [exact] as in
+    {!compare_values}. *)

@@ -1,0 +1,62 @@
+(* Sampled GC/resource telemetry on top of the Obs gauge machinery,
+   plus per-region minor-allocation attribution.
+
+   The gauges are registered lazily on the first enabled sample so a
+   process that never samples (telemetry off, or on but purely
+   span/counter-driven) keeps its snapshots free of gc/* entries.  The
+   disabled paths are one branch and allocation-free, matching the
+   Obs contract pinned by the Gc.minor_words test. *)
+
+type gauges = {
+  minor_words : Obs.Gauge.t;
+  promoted_words : Obs.Gauge.t;
+  major_words : Obs.Gauge.t;
+  minor_collections : Obs.Gauge.t;
+  major_collections : Obs.Gauge.t;
+  heap_words : Obs.Gauge.t;
+  compactions : Obs.Gauge.t;
+}
+
+let gauges =
+  lazy
+    {
+      minor_words = Obs.Gauge.make "gc/minor_words";
+      promoted_words = Obs.Gauge.make "gc/promoted_words";
+      major_words = Obs.Gauge.make "gc/major_words";
+      minor_collections = Obs.Gauge.make "gc/minor_collections";
+      major_collections = Obs.Gauge.make "gc/major_collections";
+      heap_words = Obs.Gauge.make "gc/heap_words";
+      compactions = Obs.Gauge.make "gc/compactions";
+    }
+
+let sample () =
+  if Obs.enabled () then begin
+    let g = Lazy.force gauges in
+    let st = Gc.quick_stat () in
+    Obs.Gauge.set g.minor_words st.Gc.minor_words;
+    Obs.Gauge.set g.promoted_words st.Gc.promoted_words;
+    Obs.Gauge.set g.major_words st.Gc.major_words;
+    Obs.Gauge.set g.minor_collections (float_of_int st.Gc.minor_collections);
+    Obs.Gauge.set g.major_collections (float_of_int st.Gc.major_collections);
+    Obs.Gauge.set g.heap_words (float_of_int st.Gc.heap_words);
+    Obs.Gauge.set g.compactions (float_of_int st.Gc.compactions)
+  end
+
+module Alloc = struct
+  type t = Obs.Counter.t
+
+  let make name = Obs.Counter.make name
+
+  (* Same sentinel protocol as Obs.Span.start: neg_infinity (a static
+     constant, so no boxing) marks a start taken while disabled, and
+     stop ignores it even if recording was enabled in between. *)
+  let start () = if Obs.enabled () then Gc.minor_words () else neg_infinity
+
+  let stop t w0 =
+    if Obs.enabled () && w0 > neg_infinity then begin
+      let dw = Gc.minor_words () -. w0 in
+      if dw > 0.0 then Obs.Counter.add t (int_of_float dw)
+    end
+
+  let value t = Obs.Counter.value t
+end

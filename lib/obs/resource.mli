@@ -1,0 +1,34 @@
+(** Sampled GC/resource telemetry.
+
+    {!sample} publishes the current [Gc.quick_stat] into gauges named
+    [gc/minor_words], [gc/promoted_words], [gc/major_words],
+    [gc/minor_collections], [gc/major_collections], [gc/heap_words] and
+    [gc/compactions]; they appear in snapshots only once the first
+    enabled sample has been taken.  {!Alloc} attributes minor-heap
+    allocation to code regions via [Gc.minor_words] deltas, mirroring
+    the {!Obs.Span} start/stop protocol.
+
+    Both disabled paths cost one branch and allocate nothing (the
+    contract pinned by the [Gc.minor_words] test in [test_obs]). *)
+
+val sample : unit -> unit
+(** Publish current GC statistics into the gauges.  No-op when
+    {!Obs.enabled} is off. *)
+
+module Alloc : sig
+  type t
+  (** A named minor-allocation counter (an {!Obs.Counter} of words). *)
+
+  val make : string -> t
+
+  val start : unit -> float
+  (** Current [Gc.minor_words] when enabled, [neg_infinity] (a static,
+      allocation-free sentinel) when disabled. *)
+
+  val stop : t -> float -> unit
+  (** [stop t w0] adds the minor words allocated since [w0] to [t] if
+      recording was enabled at both ends. *)
+
+  val value : t -> int
+  (** Total attributed minor words across domains. *)
+end

@@ -73,6 +73,7 @@ let m_tasks_run = Obs.Counter.make "pool/tasks_run"
 let m_tasks_stolen = Obs.Counter.make "pool/tasks_stolen"
 let m_task_run = Obs.Span.make "pool/task_run_seconds"
 let m_queue_wait = Obs.Histogram.make "pool/queue_wait_seconds"
+let m_idle = Obs.Span.make "pool/idle_seconds"
 
 type job = {
   run_task : int -> unit;
@@ -152,9 +153,20 @@ let drain pool job ~me =
 
 let rec worker_loop pool ~me ~last_epoch =
   Mutex.lock pool.lock;
-  while pool.epoch = last_epoch && not pool.stopping do
-    Condition.wait pool.work pool.lock
-  done;
+  (* Idle accounting covers exactly the epochs-behind wait: per-domain
+     idle_seconds plus a pool/idle trace slice, so Report can split each
+     domain's timeline into busy vs parked-between-jobs time.  Recording
+     under the pool lock is fine — the instruments are per-domain cells
+     and never take a lock themselves. *)
+  if pool.epoch = last_epoch && not pool.stopping then begin
+    let t0 = Obs.Span.start () in
+    if Obs.Trace.enabled () then Obs.Trace.begin_ "pool/idle";
+    while pool.epoch = last_epoch && not pool.stopping do
+      Condition.wait pool.work pool.lock
+    done;
+    if Obs.Trace.enabled () then Obs.Trace.end_ "pool/idle";
+    Obs.Span.stop m_idle t0
+  end;
   let epoch = pool.epoch and job = pool.job and stopping = pool.stopping in
   Mutex.unlock pool.lock;
   if not stopping then begin

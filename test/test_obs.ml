@@ -10,6 +10,9 @@ module Obs = Lrd_obs.Obs
 module Json = Lrd_obs.Json
 module Manifest = Lrd_obs.Manifest
 module Diff = Lrd_obs.Diff
+module Report = Lrd_obs.Report
+module Resource = Lrd_obs.Resource
+module Export = Lrd_obs.Export
 module Pool = Lrd_parallel.Pool
 
 let reset_disabled () =
@@ -28,6 +31,7 @@ let test_disabled_path_does_not_allocate () =
   let h = Obs.Histogram.make "test_obs/disabled_histogram" in
   let tr = Obs.Trajectory.make "test_obs/disabled_trajectory" in
   let sp = Obs.Span.make "test_obs/disabled_span" in
+  let ac = Resource.Alloc.make "test_obs/disabled_alloc" in
   (* Warm up so instrument lookup / DLS cell creation is out of the
      measured region (they only happen when enabled anyway, but be
      safe).  [ignore_unit] is bound once, outside the loop, so the
@@ -46,6 +50,11 @@ let test_disabled_path_does_not_allocate () =
       if Obs.enabled () then Obs.Trajectory.record tr 0.25;
       let t0 = Obs.Span.start () in
       Obs.Span.stop sp t0;
+      (* GC telemetry, same contract: sampling and alloc attribution
+         are one branch each while disabled. *)
+      Resource.sample ();
+      let w0 = Resource.Alloc.start () in
+      Resource.Alloc.stop ac w0;
       (* Trace journal, same contract: argless calls are free because
          the [?arg] default is an immediate sentinel; callers that do
          pass [~arg] guard on [Trace.enabled] so the [Some arg] option
@@ -756,6 +765,260 @@ let test_diff_format_autodetect () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unrecognized format accepted"
 
+(* ------------------------------------------------------------------ *)
+(* Report: offline trace analytics on hand-built journals with known
+   answers. *)
+
+(* One chrome trace event as the Trace exporter writes it; ts in µs. *)
+let ev ?arg ~ph ~ts ~tid name =
+  Printf.sprintf "{\"name\": %S, \"ph\": %S, \"ts\": %.3f, \"pid\": 0, \
+                  \"tid\": %d%s}"
+    name ph ts tid
+    (match arg with
+    | None -> ""
+    | Some v -> Printf.sprintf ", \"args\": {\"v\": %d}" v)
+
+let journal events = "[" ^ String.concat ", " events ^ "]"
+
+let report_of_events events =
+  match Report.of_chrome_json (Json.parse_exn (journal events)) with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "report: %s" e
+
+(* Two domains: tid 0 runs a warm-start chain of three slices (1, 2 and
+   3 ms, cells 0 -> 1 -> 2), tid 1 runs one lone 10 ms slice (cell 7).
+   One steal against four pool tasks.  Every aggregate is checkable by
+   hand. *)
+let synthetic_sweep =
+  [
+    ev ~ph:"M" ~ts:0.0 ~tid:0 "process_name";
+    ev ~ph:"B" ~ts:0.0 ~tid:0 ~arg:0 "sweep/slice";
+    ev ~ph:"E" ~ts:1000.0 ~tid:0 ~arg:0 "sweep/slice";
+    ev ~ph:"i" ~ts:1000.0 ~tid:0 ~arg:1 "sweep/warm_start";
+    ev ~ph:"B" ~ts:1000.0 ~tid:0 ~arg:1 "sweep/slice";
+    ev ~ph:"E" ~ts:3000.0 ~tid:0 ~arg:1 "sweep/slice";
+    ev ~ph:"i" ~ts:3000.0 ~tid:0 ~arg:2 "sweep/warm_start";
+    ev ~ph:"B" ~ts:3000.0 ~tid:0 ~arg:2 "sweep/slice";
+    ev ~ph:"E" ~ts:6000.0 ~tid:0 ~arg:2 "sweep/slice";
+    ev ~ph:"B" ~ts:0.0 ~tid:1 ~arg:7 "sweep/slice";
+    ev ~ph:"E" ~ts:10000.0 ~tid:1 ~arg:7 "sweep/slice";
+    ev ~ph:"B" ~ts:0.0 ~tid:0 ~arg:0 "pool/task";
+    ev ~ph:"E" ~ts:0.0 ~tid:0 ~arg:0 "pool/task";
+    ev ~ph:"B" ~ts:0.0 ~tid:0 ~arg:1 "pool/task";
+    ev ~ph:"E" ~ts:0.0 ~tid:0 ~arg:1 "pool/task";
+    ev ~ph:"B" ~ts:0.0 ~tid:1 ~arg:2 "pool/task";
+    ev ~ph:"E" ~ts:0.0 ~tid:1 ~arg:2 "pool/task";
+    ev ~ph:"B" ~ts:0.0 ~tid:1 ~arg:3 "pool/task";
+    ev ~ph:"E" ~ts:0.0 ~tid:1 ~arg:3 "pool/task";
+    ev ~ph:"i" ~ts:0.0 ~tid:1 ~arg:2 "pool/steal";
+  ]
+
+let feq = Alcotest.(check (float 1e-9))
+
+let has_sub ~sub s =
+  let ls = String.length s and lsub = String.length sub in
+  let rec go i = i + lsub <= ls && (String.sub s i lsub = sub || go (i + 1)) in
+  lsub = 0 || go 0
+
+let has_suffix ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.sub s (ls - lx) lx = suffix
+
+let test_report_phase_aggregates () =
+  let r = report_of_events synthetic_sweep in
+  Alcotest.(check int) "events (metadata dropped)" 19 r.Report.events;
+  Alcotest.(check int) "no unmatched halves" 0 r.Report.dropped_unmatched;
+  feq "extent" 0.010 r.Report.extent;
+  let slice =
+    List.find
+      (fun p -> p.Report.phase_name = "sweep/slice")
+      r.Report.phases
+  in
+  Alcotest.(check int) "slice count" 4 slice.Report.count;
+  feq "slice total" 0.016 slice.Report.total;
+  feq "slice p50 (sorted [1;2;3;10]ms)" 0.002 slice.Report.p50;
+  feq "slice p95" 0.010 slice.Report.p95;
+  feq "slice max" 0.010 slice.Report.max
+
+let test_report_domains_and_pool () =
+  let r = report_of_events synthetic_sweep in
+  (match r.Report.domains with
+  | [ d0; d1 ] ->
+      Alcotest.(check int) "tids" 0 d0.Report.domain;
+      Alcotest.(check int) "tids" 1 d1.Report.domain;
+      (* tid 0: slices cover [0, 6ms] of the 10 ms extent. *)
+      feq "d0 busy" 0.006 d0.Report.busy;
+      feq "d0 idle" 0.004 d0.Report.idle;
+      feq "d0 util" 0.6 d0.Report.utilization;
+      feq "d1 busy" 0.010 d1.Report.busy;
+      feq "d1 idle" 0.0 d1.Report.idle
+  | ds -> Alcotest.failf "expected 2 domains, got %d" (List.length ds));
+  Alcotest.(check int) "tasks" 4 r.Report.pool.Report.tasks;
+  Alcotest.(check int) "steals" 1 r.Report.pool.Report.steals;
+  feq "steal ratio" 0.25 r.Report.pool.Report.steal_ratio
+
+let test_report_critical_path () =
+  (* The lone 10 ms cell beats the 6 ms warm chain... *)
+  let r = report_of_events synthetic_sweep in
+  (match r.Report.critical with
+  | Some cp ->
+      Alcotest.(check (list int)) "lone cell wins" [ 7 ] cp.Report.path;
+      feq "path seconds" 0.010 cp.Report.path_seconds
+  | None -> Alcotest.fail "no critical path");
+  (* ...and without it the warm-start chain 0 -> 1 -> 2 is the path. *)
+  let chain_only =
+    List.filter
+      (fun e ->
+        not
+          (List.mem e
+             [
+               ev ~ph:"B" ~ts:0.0 ~tid:1 ~arg:7 "sweep/slice";
+               ev ~ph:"E" ~ts:10000.0 ~tid:1 ~arg:7 "sweep/slice";
+             ]))
+      synthetic_sweep
+  in
+  let r = report_of_events chain_only in
+  match r.Report.critical with
+  | Some cp ->
+      Alcotest.(check (list int)) "warm chain" [ 0; 1; 2 ] cp.Report.path;
+      feq "chain seconds" 0.006 cp.Report.path_seconds
+  | None -> Alcotest.fail "no critical path"
+
+let test_report_cold_cell_breaks_chain () =
+  (* No warm-start edge into cell 1: chains restart there, so the best
+     chain is just the slowest single cell. *)
+  let events =
+    [
+      ev ~ph:"B" ~ts:0.0 ~tid:0 ~arg:0 "sweep/slice";
+      ev ~ph:"E" ~ts:4000.0 ~tid:0 ~arg:0 "sweep/slice";
+      ev ~ph:"B" ~ts:4000.0 ~tid:0 ~arg:1 "sweep/slice";
+      ev ~ph:"E" ~ts:7000.0 ~tid:0 ~arg:1 "sweep/slice";
+    ]
+  in
+  let r = report_of_events events in
+  match r.Report.critical with
+  | Some cp ->
+      Alcotest.(check (list int)) "cold cells stand alone" [ 0 ]
+        cp.Report.path;
+      feq "path seconds" 0.004 cp.Report.path_seconds
+  | None -> Alcotest.fail "no critical path"
+
+let test_report_unmatched_and_determinism () =
+  let events =
+    [
+      (* An E with no B (ring evicted the open) and a B never closed. *)
+      ev ~ph:"E" ~ts:500.0 ~tid:0 "solver/solve";
+      ev ~ph:"B" ~ts:600.0 ~tid:0 "sweep/scheduled";
+      ev ~ph:"B" ~ts:700.0 ~tid:0 ~arg:3 "sweep/slice";
+      ev ~ph:"E" ~ts:900.0 ~tid:0 ~arg:3 "sweep/slice";
+    ]
+  in
+  let r = report_of_events events in
+  Alcotest.(check int) "unmatched halves counted" 2
+    r.Report.dropped_unmatched;
+  let bytes1 = Json.to_string ~pretty:true (Report.to_json r) in
+  let r2 = report_of_events events in
+  let bytes2 = Json.to_string ~pretty:true (Report.to_json r2) in
+  Alcotest.(check string) "report json byte-identical" bytes1 bytes2
+
+let test_report_rejects_non_journal () =
+  (match Report.of_chrome_json (Json.Obj []) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "object accepted as journal");
+  match Report.of_file "/nonexistent/journal.json" with
+  | Error e ->
+      Alcotest.(check bool) "error names the file" true
+        (has_sub ~sub:"/nonexistent/journal.json" e)
+  | Ok _ -> Alcotest.fail "missing file accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Export: OpenMetrics exposition and escaping. *)
+
+let test_openmetrics_escaping_roundtrip () =
+  let cases =
+    [
+      "";
+      "plain";
+      "back\\slash";
+      "quo\"te";
+      "line\nbreak";
+      "\\n is not a newline";
+      "mix \\ \" \n end\\";
+    ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check string)
+        (Printf.sprintf "round-trip %S" s)
+        s
+        (Export.unescape_label_value (Export.escape_label_value s)))
+    cases;
+  Alcotest.(check string) "escaped form" "a\\\\b\\\"c\\nd"
+    (Export.escape_label_value "a\\b\"c\nd")
+
+let test_openmetrics_names_and_exposition () =
+  reset_disabled ();
+  Alcotest.(check string) "name sanitization" "lrd_solver_solve_seconds"
+    (Export.metric_name "solver/solve_seconds");
+  Obs.set_enabled true;
+  let c = Obs.Counter.make "test_obs/om_counter" in
+  let g = Obs.Gauge.make "test_obs/om_gauge" in
+  let h = Obs.Histogram.make "test_obs/om_histogram" in
+  Obs.Counter.add c 5;
+  Obs.Gauge.set g 2.5;
+  Obs.Histogram.observe h 0.5;
+  Obs.set_enabled false;
+  let text = Export.openmetrics (Obs.snapshot ()) in
+  let has sub = has_sub ~sub text in
+  Alcotest.(check bool) "counter series" true
+    (has "lrd_test_obs_om_counter_total{domain=\"0\"} 5");
+  Alcotest.(check bool) "gauge series" true
+    (has "lrd_test_obs_om_gauge 2.5");
+  Alcotest.(check bool) "histogram +Inf bucket" true
+    (has "lrd_test_obs_om_histogram_bucket{le=\"+Inf\"} 1");
+  Alcotest.(check bool) "histogram count" true
+    (has "lrd_test_obs_om_histogram_count 1");
+  (* 0.5 lands in the [2^-1, 2^0) bucket: cumulative 1 at le=1. *)
+  Alcotest.(check bool) "histogram bucket upper bound" true
+    (has "lrd_test_obs_om_histogram_bucket{le=\"1\"} 1");
+  Alcotest.(check bool) "EOF terminator" true
+    (has_suffix ~suffix:"# EOF\n" text)
+
+(* ------------------------------------------------------------------ *)
+(* Resource: GC gauges appear once sampled; Alloc attributes minor
+   words. *)
+
+let test_resource_sample_publishes_gauges () =
+  reset_disabled ();
+  Obs.set_enabled true;
+  Resource.sample ();
+  Obs.set_enabled false;
+  let snap = Obs.snapshot () in
+  List.iter
+    (fun name ->
+      match Obs.find snap name with
+      | Some (Obs.Gauge (Some v)) ->
+          Alcotest.(check bool)
+            (name ^ " nonnegative")
+            true (v >= 0.0)
+      | _ -> Alcotest.failf "%s not published" name)
+    [ "gc/minor_words"; "gc/major_words"; "gc/heap_words"; "gc/compactions" ]
+
+let test_resource_alloc_attribution () =
+  reset_disabled ();
+  Obs.set_enabled true;
+  let a = Resource.Alloc.make "test_obs/alloc_attr" in
+  let w0 = Resource.Alloc.start () in
+  (* Allocate something measurable: 10k boxed floats. *)
+  let arr = Array.init 10_000 (fun i -> float_of_int i +. 0.5) in
+  ignore (Sys.opaque_identity arr);
+  Resource.Alloc.stop a w0;
+  Obs.set_enabled false;
+  let words = Resource.Alloc.value a in
+  Alcotest.(check bool)
+    (Printf.sprintf "attributed %d minor words" words)
+    true (words >= 10_000)
+
 let () =
   Alcotest.run "obs"
     [
@@ -807,6 +1070,34 @@ let () =
             test_manifest_schema_stability;
           Alcotest.test_case "round-trip deterministic" `Quick
             test_manifest_roundtrip_deterministic;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "phase aggregates" `Quick
+            test_report_phase_aggregates;
+          Alcotest.test_case "domains and pool" `Quick
+            test_report_domains_and_pool;
+          Alcotest.test_case "critical path" `Quick test_report_critical_path;
+          Alcotest.test_case "cold cell breaks chain" `Quick
+            test_report_cold_cell_breaks_chain;
+          Alcotest.test_case "unmatched halves and determinism" `Quick
+            test_report_unmatched_and_determinism;
+          Alcotest.test_case "rejects non-journal" `Quick
+            test_report_rejects_non_journal;
+        ] );
+      ( "openmetrics",
+        [
+          Alcotest.test_case "escaping round-trip" `Quick
+            test_openmetrics_escaping_roundtrip;
+          Alcotest.test_case "names and exposition" `Quick
+            test_openmetrics_names_and_exposition;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "sample publishes gauges" `Quick
+            test_resource_sample_publishes_gauges;
+          Alcotest.test_case "alloc attribution" `Quick
+            test_resource_alloc_attribution;
         ] );
       ( "diff",
         [
